@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Ccs Ccs_util Printf Rat Unix

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Bench_util Ccs Ccs_util List Printf

@@ -1,0 +1,1 @@
+bench/exp_approx.ml: Bench_util Ccs Ccs_exact Ccs_util List Rat

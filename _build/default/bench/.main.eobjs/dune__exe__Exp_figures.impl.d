@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Bench_util Ccs Flow Hashtbl List Option Printf Rat String

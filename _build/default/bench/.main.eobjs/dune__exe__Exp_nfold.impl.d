@@ -1,0 +1,1 @@
+bench/exp_nfold.ml: Array Bench_util Ccs Ccs_util List Nfold Printf Rat

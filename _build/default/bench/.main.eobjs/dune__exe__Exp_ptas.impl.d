@@ -1,0 +1,1 @@
+bench/exp_ptas.ml: Bench_util Ccs Ccs_exact Ccs_util List Printf Rat

@@ -1,0 +1,1 @@
+bench/exp_search.ml: Array Bench_util Bigint Ccs Ccs_util List Printf Rat

@@ -1,0 +1,1 @@
+bench/exp_timing.ml: Analyze Bechamel Bench_util Benchmark Ccs Ccs_util Hashtbl List Measure Printf Staged Test Time Toolkit

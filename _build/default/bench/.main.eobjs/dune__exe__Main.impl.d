@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_approx Exp_ext Exp_figures Exp_nfold Exp_ptas Exp_search Exp_timing List Printf String Sys Unix

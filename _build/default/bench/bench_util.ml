@@ -1,0 +1,39 @@
+(* Shared helpers for the experiment harness. Everything is deterministic
+   from fixed seeds so that bench output is reproducible run to run. *)
+
+module Q = Rat
+module T = Ccs_util.Tables
+
+let fam_name = function
+  | Ccs.Generator.Uniform -> "uniform"
+  | Zipf -> "zipf"
+  | Heavy_classes -> "heavy"
+  | Large_jobs -> "large"
+
+let families = Ccs.Generator.[ Uniform; Zipf; Heavy_classes; Large_jobs ]
+
+(* A schedulable random instance: C is clamped under c*m and n. *)
+let instance ~seed ~family ~n ~classes ~machines ~slots ~p_hi =
+  let classes = min classes (max 1 (slots * machines)) in
+  let classes = min classes n in
+  Ccs.Generator.generate ~seed
+    { Ccs.Generator.n; classes; machines; slots; p_lo = 1; p_hi; family }
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let footnote text = Printf.printf "%s\n" text
+
+(* max and mean of a float list *)
+let summarize xs =
+  let arr = Array.of_list xs in
+  (Ccs_util.Stats.maximum arr, Ccs_util.Stats.mean arr)

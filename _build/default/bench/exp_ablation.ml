@@ -1,0 +1,97 @@
+(* A2, A3 — ablations of the design choices inside the 7/3-approximation
+   (Theorem 6). DESIGN.md calls out two of them:
+
+   A2: the sub-class count C_u = max(C1_u, C2_u). Dropping the large-job
+       bound C2_u (keeping only the area bound C1_u) under-provisions
+       classes whose jobs sit just above T/2 — half as many sub-classes as
+       machines needed, so sub-class loads approach 2T instead of 4T/3.
+
+   A3: LPT inside each class split. Arbitrary-order list scheduling loses
+       the "overfill by at most one job <= T/3" property: a big job arriving
+       last lands on top of an already half-full sub-class.
+
+   Random workloads rarely trigger either (their area bound dominates),
+   which is itself worth recording; the crafted families below are the
+   regimes the analysis of Theorem 6 exists for. *)
+
+module U = Bench_util
+module T = Ccs_util.Tables
+
+let run_variant ~counter ~use_lpt inst =
+  let sched, stats = Ccs.Approx.Nonpreemptive.solve_with_counter ~use_lpt ~counter inst in
+  match Ccs.Schedule.validate_nonpreemptive inst sched with
+  | Ok mk -> (mk, stats.Ccs.Approx.Nonpreemptive.t_guess)
+  | Error e -> failwith ("ablation produced invalid schedule: " ^ e)
+
+(* A2 adversarial family: one class holds [k] jobs of size T/2 + 1 (its
+   area bound is only ~k/2), plus singleton classes filling the area so the
+   accepted guess stays at T = 100. *)
+let a2_instance k =
+  let t = 100 in
+  let machines = k in
+  let heavy = List.init k (fun _ -> ((t / 2) + 1, 0)) in
+  let heavy_load = k * ((t / 2) + 1) in
+  let filler_total = (machines * t) - heavy_load in
+  let filler_count = machines - 2 in
+  let filler =
+    List.init filler_count (fun i ->
+        let base = filler_total / filler_count in
+        let extra = if i < filler_total mod filler_count then 1 else 0 in
+        (base + extra, 1 + i))
+  in
+  Ccs.Instance.make ~machines ~slots:2 (heavy @ filler)
+
+(* A3 adversarial family: one class that must split into two sub-classes,
+   listing its small jobs first and one big job last. Input-order list
+   scheduling spreads the smalls evenly and then drops the big job on top of
+   a half-full sub-class; LPT places it first. *)
+let a3_instance k =
+  let small = 120 / k in
+  let jobs = List.init k (fun _ -> (small, 0)) @ [ (80, 0); (60, 1) ] in
+  Ccs.Instance.make ~machines:2 ~slots:2 jobs
+
+let a2_a3 () =
+  U.header "A2/A3 — ablations of the 7/3-approximation";
+  Printf.printf "adversarial families (the regimes Theorem 6's analysis targets):\n";
+  let table = T.create [ "family"; "param"; "full ratio"; "no C2_u (A2)"; "no LPT (A3)"; "neither" ] in
+  let add family param inst =
+    let cell ~counter ~use_lpt =
+      let mk, t = run_variant ~counter ~use_lpt inst in
+      U.f3 (float_of_int mk /. float_of_int t)
+    in
+    T.add_row table
+      [ family; param;
+        cell ~counter:Ccs.Approx.Nonpreemptive.cu ~use_lpt:true;
+        cell ~counter:Ccs.Approx.Nonpreemptive.cu_area_only ~use_lpt:true;
+        cell ~counter:Ccs.Approx.Nonpreemptive.cu ~use_lpt:false;
+        cell ~counter:Ccs.Approx.Nonpreemptive.cu_area_only ~use_lpt:false ]
+  in
+  List.iter (fun k -> add "half-T jobs" (Printf.sprintf "k=%d" k) (a2_instance k)) [ 6; 8; 12 ];
+  List.iter (fun k -> add "big-job-last" (Printf.sprintf "k=%d" k) (a3_instance k)) [ 6; 12 ];
+  T.print table;
+  Printf.printf "\nrandom 'large' workloads for contrast (area bound usually dominates):\n";
+  let table2 = T.create [ "n"; "m"; "trials"; "full max"; "no C2_u"; "no LPT"; "neither" ] in
+  List.iter
+    (fun (n, classes, machines, slots) ->
+      let acc = Array.make 4 [] in
+      for seed = 1 to 40 do
+        let inst =
+          U.instance ~seed:(seed * 449) ~family:Ccs.Generator.Large_jobs ~n ~classes ~machines
+            ~slots ~p_hi:120
+        in
+        List.iteri
+          (fun i (counter, use_lpt) ->
+            let mk, t = run_variant ~counter ~use_lpt inst in
+            acc.(i) <- (float_of_int mk /. float_of_int t) :: acc.(i))
+          [ (Ccs.Approx.Nonpreemptive.cu, true); (Ccs.Approx.Nonpreemptive.cu_area_only, true);
+            (Ccs.Approx.Nonpreemptive.cu, false); (Ccs.Approx.Nonpreemptive.cu_area_only, false) ]
+      done;
+      let mx i = U.f3 (fst (U.summarize acc.(i))) in
+      T.add_row table2
+        [ string_of_int n; string_of_int machines; "40"; mx 0; mx 1; mx 2; mx 3 ])
+    [ (12, 4, 3, 2); (40, 6, 4, 2) ];
+  T.print table2;
+  U.footnote
+    "ratios are makespan / the variant's own accepted guess T. claim: only the\n\
+     full variant is certified <= 7/3 everywhere; each ablation is beaten on the\n\
+     family its mechanism exists for, while random inputs hide the difference."

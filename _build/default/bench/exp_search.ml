@@ -1,0 +1,80 @@
+(* E4 + A1: the advanced border binary search of Lemma 2.
+
+   E4 reproduces the lemma's two claims: the search finds the exact optimal
+   guess (validated against an exhaustive border scan where feasible) and
+   uses O(C log m) feasibility probes even for m = 10^12. A1 contrasts it
+   with the naive fixed-precision bisection a non-expert would write, which
+   needs a tolerance and cannot return the exact border. *)
+
+module Q = Rat
+module U = Bench_util
+module T = Ccs_util.Tables
+
+let random_loads rng nclasses = Array.init nclasses (fun _ -> Ccs_util.Prng.int_in rng 1 10_000)
+
+let e4 () =
+  U.header "E4 — Lemma 2 advanced binary search";
+  let table = T.create [ "C"; "m"; "trials"; "max probes"; "bound C(log2 m + 2) + 1"; "exact vs scan" ] in
+  List.iter
+    (fun (nclasses, machines, check_exact) ->
+      let max_probes = ref 0 and all_exact = ref true and checked = ref false in
+      for seed = 1 to 25 do
+        let rng = Ccs_util.Prng.create (seed * 37) in
+        let loads = random_loads rng nclasses in
+        let total = Array.fold_left ( + ) 0 loads in
+        let lb = Q.make (Bigint.of_int total) (Bigint.of_int machines) in
+        let r = Ccs.Approx.Border_search.search ~loads ~machines ~slots:1 ~lb in
+        max_probes := max !max_probes r.Ccs.Approx.Border_search.probes;
+        if check_exact then begin
+          checked := true;
+          let naive = Ccs.Approx.Border_search.search_naive ~loads ~machines ~slots:1 ~lb in
+          if not (Q.equal r.Ccs.Approx.Border_search.t_star naive.Ccs.Approx.Border_search.t_star)
+          then all_exact := false
+        end
+      done;
+      let bound =
+        1 + (nclasses * (int_of_float (ceil (log (float_of_int machines) /. log 2.0)) + 3))
+      in
+      T.add_row table
+        [ string_of_int nclasses; string_of_int machines; "25"; string_of_int !max_probes;
+          string_of_int bound;
+          (if !checked then string_of_bool !all_exact else "(m too large to scan)") ])
+    [ (4, 10, true); (8, 50, true); (16, 1_000, true); (16, 1_000_000, false);
+      (32, 1_000_000_000_000, false) ];
+  T.print table;
+  U.footnote "claim: probes grow as C log m, and the found guess equals the exhaustive scan's."
+
+let a1 () =
+  U.header "A1 — ablation: advanced border search vs fixed-precision bisection";
+  (* naive bisection to precision eps needs log2((ub-lb)/eps) probes and is
+     still only approximate; the border search is exact. *)
+  let table = T.create [ "C"; "m"; "border probes"; "bisection probes (eps=1e-6)"; "bisection exact?" ] in
+  List.iter
+    (fun (nclasses, machines) ->
+      let rng = Ccs_util.Prng.create 99 in
+      let loads = random_loads rng nclasses in
+      let total = Array.fold_left ( + ) 0 loads in
+      let lb = Q.make (Bigint.of_int total) (Bigint.of_int machines) in
+      let r = Ccs.Approx.Border_search.search ~loads ~machines ~slots:1 ~lb in
+      (* naive bisection on floats *)
+      let cap = Ccs.Approx.Border_search.slot_cap ~machines ~slots:1 in
+      let feasible t = Ccs.Approx.Border_search.count_classes ~loads ~cap (Q.of_string (Printf.sprintf "%.9f" t)) <= cap in
+      let probes = ref 0 in
+      let lo = ref (Q.to_float lb) and hi = ref (float_of_int (Array.fold_left max 1 loads)) in
+      while !hi -. !lo > 1e-6 do
+        incr probes;
+        let mid = (!lo +. !hi) /. 2.0 in
+        if feasible mid then hi := mid else lo := mid
+      done;
+      let exact = abs_float (!hi -. Q.to_float r.Ccs.Approx.Border_search.t_star) < 1e-5 in
+      T.add_row table
+        [ string_of_int nclasses; string_of_int machines;
+          string_of_int r.Ccs.Approx.Border_search.probes; string_of_int !probes;
+          Printf.sprintf "%b (within 1e-5 only)" exact ])
+    [ (4, 10); (8, 50); (16, 1_000) ];
+  T.print table;
+  U.footnote
+    "the bisection spends ~33 probes per 1e-6 of precision and still only\n\
+     approximates the answer; the border search spends O(C log m) probes and\n\
+     returns the exact (possibly fractional) optimal guess, which is why Lemma 2\n\
+     searches along the borders instead of bisecting blindly."

@@ -1,0 +1,77 @@
+(* E5 — running-time scaling of the Section 3 algorithms (Bechamel).
+
+   The paper claims O(n^2 log n) for the splittable/preemptive algorithms
+   and O(n^2 log^2 n) for the non-preemptive one. We time each algorithm on
+   doubling n and report the estimated ns/run together with the empirical
+   growth exponent log2(t(2n)/t(n)) — the shape to observe is an exponent
+   comfortably below the worst-case 2+o(1) (the quadratic term comes from
+   C ~ n classes; with C fixed the algorithms are near-linear). *)
+
+module U = Bench_util
+module T = Ccs_util.Tables
+open Bechamel
+
+let sizes = [ 100; 200; 400; 800 ]
+
+let make_instance n =
+  U.instance ~seed:(n * 7919) ~family:Ccs.Generator.Uniform ~n ~classes:(n / 5)
+    ~machines:(max 2 (n / 10)) ~slots:3 ~p_hi:1000
+
+(* one Bechamel Test.make per (algorithm, n) cell of the table *)
+let tests =
+  List.concat_map
+    (fun n ->
+      let inst = make_instance n in
+      [ Test.make
+          ~name:(Printf.sprintf "splittable/%d" n)
+          (Staged.stage (fun () -> ignore (Ccs.Approx.Splittable.solve inst)));
+        Test.make
+          ~name:(Printf.sprintf "preemptive/%d" n)
+          (Staged.stage (fun () -> ignore (Ccs.Approx.Preemptive.solve inst)));
+        Test.make
+          ~name:(Printf.sprintf "nonpreemptive/%d" n)
+          (Staged.stage (fun () -> ignore (Ccs.Approx.Nonpreemptive.solve inst))) ])
+    sizes
+
+let e5 () =
+  U.header "E5 — running-time scaling (Theorems 4, 5, 6)";
+  let grouped = Test.make_grouped ~name:"approx" tests in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let value name =
+    match Hashtbl.fold (fun k v acc -> if k = "approx/" ^ name then Some v else acc) analyzed None with
+    | Some o -> (
+        match Analyze.OLS.estimates o with
+        | Some (t :: _) -> t
+        | _ -> nan)
+    | None -> nan
+  in
+  let table = T.create [ "algorithm"; "n"; "time/run"; "growth exp vs previous n" ] in
+  List.iter
+    (fun algo ->
+      let prev = ref None in
+      List.iter
+        (fun n ->
+          let t = value (Printf.sprintf "%s/%d" algo n) in
+          let growth =
+            match !prev with
+            | Some tp when tp > 0.0 -> U.f2 (log (t /. tp) /. log 2.0)
+            | _ -> "-"
+          in
+          prev := Some t;
+          let display =
+            if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else Printf.sprintf "%.0f us" (t /. 1e3)
+          in
+          T.add_row table [ algo; string_of_int n; display; growth ])
+        sizes)
+    [ "splittable"; "preemptive"; "nonpreemptive" ];
+  T.print table;
+  U.footnote
+    "claim: growth exponent stays at or below ~2 (the n^2 in the bound comes from\n\
+     C log m iterations x O(n) work; here C = n/5 grows with n)."

@@ -1,0 +1,42 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- E1 F5   # selected experiments
+
+   Experiment ids: E1-E9 (theorem reproductions), A1-A2 (ablations; A2 also
+   covers A3), X1 (the Section 5 extension), F1-F5 (the paper's
+   illustrative figures). See DESIGN.md section 3 for the index and
+   EXPERIMENTS.md for recorded results. *)
+
+let experiments =
+  [ ("E1", Exp_approx.e1); ("E2", Exp_approx.e2); ("E3", Exp_approx.e3);
+    ("E4", Exp_search.e4); ("E5", Exp_timing.e5); ("E6", Exp_ptas.e6);
+    ("E7", Exp_ptas.e7); ("E8", Exp_ptas.e8); ("E9", Exp_nfold.e9);
+    ("A1", Exp_search.a1); ("A2", Exp_ablation.a2_a3); ("X1", Exp_ext.x1);
+    ("F1", Exp_figures.f1);
+    ("F2", Exp_figures.f2); ("F3", Exp_figures.f3); ("F4", Exp_figures.f4);
+    ("F5", Exp_figures.f5) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> List.map String.uppercase_ascii ids
+    | _ -> List.map fst experiments
+  in
+  let unknown = List.filter (fun id -> not (List.mem_assoc id experiments)) requested in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat " " unknown)
+      (String.concat " " (List.map fst experiments));
+    exit 1
+  end;
+  Printf.printf "CCS reproduction benchmarks — %d experiment(s)\n" (List.length requested);
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      let f = List.assoc id experiments in
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t))
+    requested;
+  Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,50 @@
+(* Workload generator CLI: emits instances in the Ccs.Io text format. *)
+
+open Cmdliner
+
+let family_conv =
+  let parse = function
+    | "uniform" -> Ok Ccs.Generator.Uniform
+    | "zipf" -> Ok Ccs.Generator.Zipf
+    | "heavy" -> Ok Ccs.Generator.Heavy_classes
+    | "large" -> Ok Ccs.Generator.Large_jobs
+    | s -> Error (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large)" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Ccs.Generator.Uniform -> "uniform"
+      | Zipf -> "zipf"
+      | Heavy_classes -> "heavy"
+      | Large_jobs -> "large")
+  in
+  Arg.conv (parse, print)
+
+let run n classes machines slots p_lo p_hi family seed output =
+  let spec = { Ccs.Generator.n; classes; machines; slots; p_lo; p_hi; family } in
+  let inst = Ccs.Generator.generate ~seed spec in
+  let text = Ccs.Io.to_string inst in
+  (match output with
+  | None -> print_string text
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+      Printf.eprintf "wrote %s (n=%d, C=%d)\n" path (Ccs.Instance.n inst)
+        (Ccs.Instance.num_classes inst));
+  0
+
+let cmd =
+  let n = Arg.(value & opt int 40 & info [ "n"; "jobs" ] ~doc:"Number of jobs.") in
+  let classes = Arg.(value & opt int 8 & info [ "C"; "classes" ] ~doc:"Number of classes.") in
+  let machines = Arg.(value & opt int 5 & info [ "m"; "machines" ] ~doc:"Number of machines.") in
+  let slots = Arg.(value & opt int 3 & info [ "c"; "slots" ] ~doc:"Class slots per machine.") in
+  let p_lo = Arg.(value & opt int 1 & info [ "p-lo" ] ~doc:"Minimum processing time.") in
+  let p_hi = Arg.(value & opt int 100 & info [ "p-hi" ] ~doc:"Maximum processing time.") in
+  let family =
+    Arg.(value & opt family_conv Ccs.Generator.Uniform & info [ "family" ] ~doc:"Workload family: uniform, zipf, heavy or large.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (stdout if absent).") in
+  let info = Cmd.info "ccs_gen" ~doc:"Generate Class Constrained Scheduling instances" in
+  Cmd.v info Term.(const run $ n $ classes $ machines $ slots $ p_lo $ p_hi $ family $ seed $ output)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/data_placement.ml: Array Ccs Ccs_util List Printf Rat String

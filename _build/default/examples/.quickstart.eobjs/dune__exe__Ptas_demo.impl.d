@@ -1,0 +1,1 @@
+examples/ptas_demo.ml: Ccs Ccs_exact List Printf Rat Unix

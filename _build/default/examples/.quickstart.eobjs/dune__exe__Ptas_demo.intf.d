@@ -1,0 +1,1 @@
+examples/ptas_demo.mli:

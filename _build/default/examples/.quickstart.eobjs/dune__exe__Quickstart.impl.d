@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ccs Ccs_exact Format List Printf Rat String

@@ -1,0 +1,1 @@
+examples/video_on_demand.ml: Ccs Ccs_exact Ccs_util List Printf Rat Result String

@@ -1,0 +1,78 @@
+(* Product planning — the paper's other motivation.
+
+   Each production order (job) needs the tooling of its product family
+   (class) mounted on the line (machine); a line has c tooling slots. Orders
+   may be interrupted and resumed but a single order cannot run on two lines
+   at once: the preemptive case.
+
+   Run with: dune exec examples/production_lines.exe *)
+
+module Q = Rat
+
+let () =
+  let orders =
+    (* (duration, product family) *)
+    [ (14, 0); (11, 0); (9, 1); (8, 1); (8, 1); (7, 2); (6, 2); (5, 3); (5, 3);
+      (4, 4); (4, 4); (3, 4); (3, 5); (2, 5); (2, 5); (1, 5) ]
+  in
+  let inst = Ccs.Instance.make ~machines:4 ~slots:2 orders in
+  Printf.printf "production: %d orders, %d families, 4 lines x 2 tooling slots\n"
+    (Ccs.Instance.n inst) (Ccs.Instance.num_classes inst);
+
+  let sched, stats = Ccs.Approx.Preemptive.solve inst in
+  let makespan =
+    match Ccs.Schedule.validate_preemptive inst sched with
+    | Ok mk -> mk
+    | Error e -> failwith e
+  in
+  let lb = Ccs.Bounds.lb_preemptive inst in
+  Printf.printf "preemptive 2-approx: makespan %s (lower bound %s, ratio <= %.3f)%s\n"
+    (Q.to_string makespan) (Q.to_string lb)
+    (Q.to_float makespan /. Q.to_float lb)
+    (if stats.Ccs.Approx.Preemptive.repacked then " [Algorithm 2 repacking applied]" else "");
+
+  (* Gantt-ish view *)
+  Array.iteri
+    (fun line pieces ->
+      if pieces <> [] then begin
+        Printf.printf "  line %d:" line;
+        List.iter
+          (fun pc ->
+            Printf.printf " o%d[%s->%s]" pc.Ccs.Schedule.pjob
+              (Q.to_string pc.Ccs.Schedule.start)
+              (Q.to_string (Q.add pc.Ccs.Schedule.start pc.Ccs.Schedule.len)))
+          pieces;
+        print_newline ()
+      end)
+    sched;
+
+  (* check: no order ever runs on two lines at once — recompute explicitly *)
+  let events = ref [] in
+  Array.iteri
+    (fun line pieces ->
+      List.iter
+        (fun pc -> events := (pc.Ccs.Schedule.pjob, line, pc.Ccs.Schedule.start, pc.Ccs.Schedule.len) :: !events)
+        pieces)
+    sched;
+  let parallel =
+    List.exists
+      (fun (j1, l1, s1, d1) ->
+        List.exists
+          (fun (j2, l2, s2, d2) ->
+            j1 = j2 && l1 <> l2
+            && Q.(s1 < Q.add s2 d2)
+            && Q.(s2 < Q.add s1 d1))
+          !events)
+      !events
+  in
+  Printf.printf "any order on two lines simultaneously? %b\n" parallel;
+
+  (* the PTAS tightens the plan *)
+  let param = Ccs.Ptas.Common.param 2 in
+  let sched', _ = Ccs.Ptas.Preemptive_ptas.solve param inst in
+  match Ccs.Schedule.validate_preemptive inst sched' with
+  | Ok mk' ->
+      Printf.printf "preemptive PTAS (delta=1/2): makespan %s (%.3f x lower bound)\n"
+        (Q.to_string mk')
+        (Q.to_float mk' /. Q.to_float lb)
+  | Error e -> failwith e

@@ -1,0 +1,61 @@
+(* Quickstart: build an instance, run all three constant-factor algorithms
+   of Section 3, validate every schedule and print the results.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Q = Rat
+
+let () =
+  (* 8 jobs in 4 classes, 3 machines, at most 2 classes per machine. *)
+  let inst =
+    Ccs.Instance.make ~machines:3 ~slots:2
+      [ (10, 0); (7, 0); (9, 1); (4, 1); (6, 2); (3, 3); (2, 3); (5, 2) ]
+  in
+  Format.printf "%a@.@." Ccs.Instance.pp inst;
+
+  (* --- splittable: jobs may be cut arbitrarily (Theorem 4) --- *)
+  let sched, stats = Ccs.Approx.Splittable.solve inst in
+  let makespan =
+    match Ccs.Schedule.validate_splittable inst sched with
+    | Ok mk -> mk
+    | Error e -> failwith e
+  in
+  Printf.printf "splittable  2-approx : makespan %-8s (guess T = %s, bound 2T = %s)\n"
+    (Q.to_string makespan)
+    (Q.to_string stats.Ccs.Approx.Splittable.t_guess)
+    (Q.to_string (Q.mul (Q.of_int 2) stats.Ccs.Approx.Splittable.t_guess));
+
+  (* the class-level schedule decodes into job-level pieces: *)
+  let pieces = Ccs.Schedule.to_job_pieces inst sched in
+  List.iter
+    (fun (mi, pl) ->
+      Printf.printf "  machine %d: %s\n" mi
+        (String.concat " "
+           (List.map (fun pc -> Printf.sprintf "j%d:%s" pc.Ccs.Schedule.job (Q.to_string pc.Ccs.Schedule.size)) pl)))
+    pieces;
+
+  (* --- preemptive: pieces of one job never run in parallel (Theorem 5) --- *)
+  let sched, stats = Ccs.Approx.Preemptive.solve inst in
+  let makespan =
+    match Ccs.Schedule.validate_preemptive inst sched with
+    | Ok mk -> mk
+    | Error e -> failwith e
+  in
+  Printf.printf "preemptive  2-approx : makespan %-8s (guess T = %s)\n" (Q.to_string makespan)
+    (Q.to_string stats.Ccs.Approx.Preemptive.t_guess);
+
+  (* --- non-preemptive: whole jobs only (Theorem 6) --- *)
+  let sched, stats = Ccs.Approx.Nonpreemptive.solve inst in
+  let makespan =
+    match Ccs.Schedule.validate_nonpreemptive inst sched with
+    | Ok mk -> mk
+    | Error e -> failwith e
+  in
+  Printf.printf "non-preempt 7/3-apx  : makespan %-8d (guess T = %d)\n" makespan
+    stats.Ccs.Approx.Nonpreemptive.t_guess;
+  Array.iteri (fun j mi -> Printf.printf "  job %d -> machine %d\n" j mi) sched;
+
+  (* exact optimum for reference (branch & bound, small n only) *)
+  match Ccs_exact.Bnb.solve inst with
+  | Some (opt, _) -> Printf.printf "non-preemptive exact optimum: %d\n" opt
+  | None -> ()

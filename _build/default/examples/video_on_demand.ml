@@ -1,0 +1,80 @@
+(* Video on demand — the scenario behind Class Constrained Bin Packing in
+   the related work (Xavier & Miyazawa; Shachnai & Tamir).
+
+   Disks (machines) hold at most c movies (classes); the stream load of a
+   movie may be split across all disks that store a copy (splittable case),
+   and we minimize the peak per-disk bandwidth. The splittable CCS
+   2-approximation answers in O(n^2 log n) even for very large disk farms.
+
+   Run with: dune exec examples/video_on_demand.exe *)
+
+module Q = Rat
+
+let () =
+  let rng = Ccs_util.Prng.create 7 in
+  (* 12 movies with strongly skewed demand, 8 disks holding 2 movies each. *)
+  let movies = 12 and disks = 8 and copies_per_disk = 2 in
+  let demand =
+    List.init movies (fun i ->
+        (* hot front of the catalogue *)
+        let base = 400 / (i + 1) in
+        max 10 (base + Ccs_util.Prng.int_in rng 0 20))
+  in
+  let requests = List.mapi (fun movie load -> (load, movie)) demand in
+  let inst = Ccs.Instance.make ~machines:disks ~slots:copies_per_disk requests in
+  Printf.printf "video on demand: %d movies on %d disks, %d copies per disk\n" movies disks
+    copies_per_disk;
+  List.iteri (fun movie load -> Printf.printf "  movie %-2d demand %d\n" movie load) demand;
+
+  let sched, stats = Ccs.Approx.Splittable.solve inst in
+  let makespan =
+    match Ccs.Schedule.validate_splittable inst sched with
+    | Ok mk -> mk
+    | Error e -> failwith e
+  in
+  let lb = Ccs.Bounds.lb_splittable inst in
+  Printf.printf "\nsplittable 2-approx: peak bandwidth %s (area bound %s, ratio <= %.3f)\n"
+    (Q.to_string makespan) (Q.to_string lb)
+    (Q.to_float makespan /. Q.to_float lb);
+  Printf.printf "guess T = %s found with %d border probes (Lemma 2)\n"
+    (Q.to_string stats.Ccs.Approx.Splittable.t_guess) stats.Ccs.Approx.Splittable.probes;
+
+  (* per-disk report *)
+  List.iter
+    (fun b ->
+      Printf.printf "  disks %d..%d: movie %d streamed at %s each\n" b.Ccs.Schedule.m_start
+        (b.Ccs.Schedule.m_start + b.Ccs.Schedule.m_count - 1)
+        b.Ccs.Schedule.cls
+        (Q.to_string b.Ccs.Schedule.per_machine))
+    sched.Ccs.Schedule.blocks;
+  List.iter
+    (fun (disk, loads) ->
+      Printf.printf "  disk %d: %s\n" disk
+        (String.concat ", "
+           (List.map (fun (movie, l) -> Printf.sprintf "movie %d at %s" movie (Q.to_string l)) loads)))
+    sched.Ccs.Schedule.explicit_machines;
+
+  (* Exact optimum comparison on a small sub-catalogue (the full 12x8 MILP
+     is beyond the exact rational branch & bound — see DESIGN.md). *)
+  let mini = Ccs.Instance.make ~machines:3 ~slots:2 (List.filteri (fun i _ -> i < 6) requests) in
+  (match Ccs_exact.Splittable_opt.solve ~max_nodes:2_000 mini with
+  | Some opt ->
+      let msched, _ = Ccs.Approx.Splittable.solve mini in
+      let mmk = Result.get_ok (Ccs.Schedule.validate_splittable mini msched) in
+      Printf.printf "\n6-movie sub-catalogue on 3 disks: exact optimum %s, 2-approx %s (ratio %.4f)\n"
+        (Q.to_string opt) (Q.to_string mmk) (Q.to_float mmk /. Q.to_float opt)
+  | None -> ());
+
+  (* the same catalogue on a planet-scale CDN: 10^12 disks. The algorithm
+     stays polynomial (Theorem 4's final paragraph) and emits compressed
+     machine blocks. *)
+  let cdn = Ccs.Instance.make ~machines:1_000_000_000_000 ~slots:1 requests in
+  let sched, stats = Ccs.Approx.Splittable.solve cdn in
+  let makespan =
+    match Ccs.Schedule.validate_splittable cdn sched with
+    | Ok mk -> mk
+    | Error e -> failwith e
+  in
+  Printf.printf "\nsame catalogue on 10^12 disks: peak bandwidth %s, %d full-disk blocks, T=%s\n"
+    (Q.to_string makespan) stats.Ccs.Approx.Splittable.full_slices
+    (Q.to_string stats.Ccs.Approx.Splittable.t_guess)

@@ -1,0 +1,410 @@
+(* Arbitrary-precision integers: sign + little-endian magnitude, base 2^30.
+
+   Base 2^30 keeps every intermediate quantity (limb products, carries,
+   Knuth-D trial digits) strictly below 2^62, inside OCaml's native int.
+   Canonical form: [mag] has no leading zero limb and is empty iff
+   [sign = 0]; this makes structural equality meaningful and hashing cheap.
+
+   Division is Knuth's Algorithm D (TAOCP vol. 2, 4.3.1) with a single-limb
+   fast path; decimal conversion goes through base 10^9, which fits a limb. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ---- magnitude helpers (arrays of limbs, little-endian, may have leading
+   zeros on input; outputs are stripped) ---- *)
+
+let mag_strip a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let x = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- x land mask;
+    carry := x lsr base_bits
+  done;
+  r.(l) <- !carry;
+  mag_strip r
+
+(* Requires a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let x = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if x < 0 then begin
+      r.(i) <- x + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- x;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_strip r
+
+let mag_mul_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let x = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- x land mask;
+          carry := x lsr base_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    mag_strip r
+  end
+
+(* Karatsuba above this many limbs (~960 bits); below it, the cache-friendly
+   schoolbook loop wins. *)
+let karatsuba_threshold = 32
+
+(* a * B^(30*k): shift left by whole limbs. *)
+let mag_shift_limbs a k =
+  if Array.length a = 0 then [||] else Array.append (Array.make k 0) a
+
+let rec mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then mag_mul_school a b
+  else begin
+    (* split both at half the longer operand:
+       a = a1 B^h + a0, b = b1 B^h + b0
+       ab = z2 B^2h + (z1 - z2 - z0) B^h + z0
+       with z0 = a0 b0, z2 = a1 b1, z1 = (a0+a1)(b0+b1). *)
+    let h = max la lb / 2 in
+    let lo x = if Array.length x <= h then Array.copy x else Array.sub x 0 h in
+    let hi x = if Array.length x <= h then [||] else Array.sub x h (Array.length x - h) in
+    let a0 = mag_strip (lo a) and a1 = mag_strip (hi a) in
+    let b0 = mag_strip (lo b) and b1 = mag_strip (hi b) in
+    let z0 = mag_mul a0 b0 in
+    let z2 = mag_mul a1 b1 in
+    let z1 = mag_mul (mag_add a0 a1) (mag_add b0 b1) in
+    let mid = mag_sub (mag_sub z1 z2) z0 in
+    mag_add (mag_shift_limbs z2 (2 * h)) (mag_add (mag_shift_limbs mid h) z0)
+  end
+
+(* Shift a magnitude left by s in [0, 30) bits, writing into a fresh array
+   one limb longer than needed so normalization never overflows. *)
+let mag_shift_left a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let x = (a.(i) lsl s) lor !carry in
+      r.(i) <- x land mask;
+      carry := x lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+let mag_shift_right a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let lo = a.(i) lsr s in
+      let hi = if i + 1 < la then (a.(i + 1) lsl (base_bits - s)) land mask else 0 in
+      r.(i) <- lo lor hi
+    done;
+    r
+  end
+
+(* Single-limb division: returns (quotient magnitude, remainder int). *)
+let mag_div_limb a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_strip q, !r)
+
+(* Knuth Algorithm D. Requires |b| >= 2 limbs and |a| >= |b|. *)
+let mag_div_full a b =
+  let n = Array.length b in
+  let s =
+    (* Normalize so the divisor's top limb has its high bit set. *)
+    let rec go k v = if v >= base / 2 then k else go (k + 1) (v lsl 1) in
+    go 0 b.(n - 1)
+  in
+  let v = Array.sub (mag_shift_left b s) 0 n in
+  let u0 = mag_shift_left a s in
+  let m = Array.length a - n in
+  (* u gets one extra high limb for the algorithm. *)
+  let u = Array.make (Array.length a + 1) 0 in
+  Array.blit u0 0 u 0 (Stdlib.min (Array.length u0) (Array.length u));
+  let q = Array.make (m + 1) 0 in
+  let vh = v.(n - 1) and vl = v.(n - 2) in
+  for j = m downto 0 do
+    let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+    let qhat = ref (num / vh) in
+    let rhat = ref (num mod vh) in
+    (* Canonical trial-digit correction (Knuth D3 / Hacker's Delight): after
+       it, qhat < base and over-estimates the true digit by at most one. *)
+    let continue = ref true in
+    while
+      !continue
+      && (!qhat >= base || (!qhat * vl) > ((!rhat lsl base_bits) lor u.(j + n - 2)))
+    do
+      decr qhat;
+      rhat := !rhat + vh;
+      if !rhat >= base then continue := false
+    done;
+    (* Multiply and subtract. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let t = u.(j + i) - (p land mask) - !borrow in
+      if t < 0 then begin
+        u.(j + i) <- t + base;
+        borrow := 1
+      end
+      else begin
+        u.(j + i) <- t;
+        borrow := 0
+      end
+    done;
+    let t = u.(j + n) - !carry - !borrow in
+    if t < 0 then begin
+      (* Rare over-estimate: add the divisor back. *)
+      u.(j + n) <- t + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let x = u.(j + i) + v.(i) + !carry in
+        u.(j + i) <- x land mask;
+        carry := x lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land mask
+    end
+    else u.(j + n) <- t;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shift_right (mag_strip (Array.sub u 0 n)) s in
+  (mag_strip q, mag_strip r)
+
+let mag_div_rem a b =
+  if mag_cmp a b < 0 then ([||], Array.copy a)
+  else if Array.length b = 1 then
+    let q, r = mag_div_limb a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  else mag_div_full a b
+
+(* ---- signed layer ---- *)
+
+let make sign mag =
+  let mag = mag_strip mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+(* Limbs are peeled from the (possibly negative) value itself, so min_int —
+   which has no positive counterpart — is handled without overflow. *)
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    let l = ref [] and v = ref n in
+    while !v <> 0 do
+      let r = !v mod base in
+      let digit = if r < 0 then -r else r in
+      l := digit :: !l;
+      v := (!v - r) / base
+    done;
+    { sign; mag = mag_strip (Array.of_list (List.rev !l)) }
+  end
+
+let bit_length t =
+  let len = Array.length t.mag in
+  if len = 0 then 0
+  else begin
+    let top = t.mag.(len - 1) in
+    let rec bits k v = if v = 0 then k else bits (k + 1) (v lsr 1) in
+    ((len - 1) * base_bits) + bits 0 top
+  end
+
+let to_int_opt t =
+  let bl = bit_length t in
+  if bl <= 62 then begin
+    (* |v| <= 2^62 - 1 = max_int, so plain accumulation cannot overflow. *)
+    let v = Array.fold_right (fun limb acc -> (acc * base) + limb) t.mag 0 in
+    Some (if t.sign < 0 then -v else v)
+  end
+  else if bl = 63 && t.sign < 0 && t.mag.(0) = 0 && t.mag.(1) = 0 && t.mag.(2) = 4 then
+    (* 2^62 = min_int's magnitude is the single 63-bit value that fits. *)
+    Some min_int
+  else None
+
+let to_int_exn t =
+  match to_int_opt t with Some v -> v | None -> failwith "Bigint.to_int_exn: overflow"
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let equal a b = a.sign = b.sign && mag_cmp a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let hash t =
+  Array.fold_left (fun acc limb -> (acc * 1000003) + limb) (t.sign + 17) t.mag
+  land max_int
+
+let neg t = if t.sign = 0 then zero else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else
+    match mag_cmp a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> make a.sign (mag_sub a.mag b.mag)
+    | _ -> make b.sign (mag_sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let succ t = add t one
+let pred t = sub t one
+
+let div_rem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = mag_div_rem a.mag b.mag in
+    let q = make (a.sign * b.sign) qm in
+    let r = make a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (div_rem a b)
+let rem a b = snd (div_rem a b)
+
+let fdiv a b =
+  let q, r = div_rem a b in
+  if r.sign <> 0 && r.sign <> b.sign then pred q else q
+
+let cdiv a b =
+  let q, r = div_rem a b in
+  if r.sign <> 0 && r.sign = b.sign then succ q else q
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let pow base_v e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one base_v e
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let ten_pow9 = 1_000_000_000
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks mag acc =
+      if Array.length mag = 0 then acc
+      else
+        let q, r = mag_div_limb mag ten_pow9 in
+        chunks q (r :: acc)
+    in
+    (match chunks t.mag [] with
+    | [] -> Buffer.add_char buf '0'
+    | first :: rest ->
+        if t.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Bigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if String.length s = start then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  let len = String.length s in
+  let chunk_mult = of_int ten_pow9 in
+  while !i < len do
+    let stop = Stdlib.min len (!i + 9) in
+    let width = stop - !i in
+    let part = String.sub s !i width in
+    String.iter (fun ch -> if ch < '0' || ch > '9' then invalid_arg "Bigint.of_string: bad digit") part;
+    let v = int_of_string part in
+    let mult = if width = 9 then chunk_mult else of_int (int_of_float (10.0 ** float_of_int width)) in
+    acc := add (mul !acc mult) (of_int v);
+    i := stop
+  done;
+  if negative then neg !acc else !acc
+
+let to_float t =
+  let f = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) t.mag 0.0 in
+  if t.sign < 0 then -.f else f
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

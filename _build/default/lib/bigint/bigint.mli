@@ -1,0 +1,79 @@
+(** Arbitrary-precision signed integers.
+
+    Built from scratch because the sealed build environment ships no bignum
+    library. Representation: sign plus little-endian magnitude in base 2^30,
+    chosen so that limb products and carries stay inside OCaml's 63-bit
+    native [int]. All values are structurally canonical, so the polymorphic
+    [compare]/[Hashtbl.hash] would be consistent — but use the functions
+    below, which are faster and total. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+(** [to_int_opt x] is [Some n] iff [x] fits a native [int]. *)
+val to_int_opt : t -> int option
+
+(** Raises [Failure] when the value does not fit. *)
+val to_int_exn : t -> int
+
+val of_string : string -> t
+val to_string : t -> string
+
+val sign : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+(** Truncated division, as for OCaml's native [/] and [mod]:
+    [div_rem a b = (q, r)] with [a = q*b + r], [|r| < |b|] and [r] carrying
+    the sign of [a]. Raises [Division_by_zero]. *)
+val div_rem : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Floor division: rounds towards negative infinity. *)
+val fdiv : t -> t -> t
+
+(** Ceiling division: rounds towards positive infinity. *)
+val cdiv : t -> t -> t
+
+(** Greatest common divisor; always non-negative, [gcd zero zero = zero]. *)
+val gcd : t -> t -> t
+
+(** [pow base e] for [e >= 0]. *)
+val pow : t -> int -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val to_float : t -> float
+
+(** Number of bits in the magnitude (0 for zero). *)
+val bit_length : t -> int
+
+val pp : Format.formatter -> t -> unit

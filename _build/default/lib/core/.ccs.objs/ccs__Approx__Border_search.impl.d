@@ -1,0 +1,1 @@
+lib/core/approx/border_search.ml: Array Bigint Rat

@@ -1,0 +1,1 @@
+lib/core/approx/border_search.mli: Rat

@@ -1,0 +1,1 @@
+lib/core/approx/lpt.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/approx/nonpreemptive.ml: Array Border_search Instance List Lpt Round_robin

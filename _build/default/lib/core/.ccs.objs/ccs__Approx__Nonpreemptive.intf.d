@@ -1,0 +1,1 @@
+lib/core/approx/nonpreemptive.mli: Instance Schedule

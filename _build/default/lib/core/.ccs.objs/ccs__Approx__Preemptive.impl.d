@@ -1,0 +1,1 @@
+lib/core/approx/preemptive.ml: Array Border_search Bounds Instance List Rat Round_robin Schedule

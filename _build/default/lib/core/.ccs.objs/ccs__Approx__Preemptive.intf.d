@@ -1,0 +1,1 @@
+lib/core/approx/preemptive.mli: Instance Rat Schedule

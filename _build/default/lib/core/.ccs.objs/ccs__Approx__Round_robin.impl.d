@@ -1,0 +1,1 @@
+lib/core/approx/round_robin.ml: Array List Rat

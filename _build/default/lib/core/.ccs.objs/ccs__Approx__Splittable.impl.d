@@ -1,0 +1,1 @@
+lib/core/approx/splittable.ml: Array Bigint Border_search Bounds Hashtbl Instance List Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/approx/splittable.mli: Instance Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/ext/hetero.ml: Approx Array Hashtbl Instance List Option Printf

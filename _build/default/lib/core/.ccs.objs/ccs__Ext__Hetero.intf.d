@@ -1,0 +1,1 @@
+lib/core/ext/hetero.mli: Instance Schedule

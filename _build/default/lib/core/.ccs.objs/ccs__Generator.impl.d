@@ -1,0 +1,1 @@
+lib/core/generator.ml: Array Ccs_util Instance List

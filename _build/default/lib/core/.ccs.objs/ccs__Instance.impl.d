@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Format Hashtbl Int List Set

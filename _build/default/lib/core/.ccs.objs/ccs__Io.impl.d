@@ -1,0 +1,1 @@
+lib/core/io.ml: Buffer In_channel Instance List Out_channel Printf String

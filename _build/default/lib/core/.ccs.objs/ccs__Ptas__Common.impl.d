@@ -1,0 +1,1 @@
+lib/core/ptas/common.ml: Array Bigint Hashtbl Ilp List Lp Option Rat

@@ -1,0 +1,1 @@
+lib/core/ptas/common.mli: Lp Rat

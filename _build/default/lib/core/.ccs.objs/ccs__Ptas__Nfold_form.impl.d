@@ -1,0 +1,1 @@
+lib/core/ptas/nfold_form.ml: Array Common Hashtbl Instance List Nfold Nonpreemptive_ptas Rat Splittable_ptas

@@ -1,0 +1,1 @@
+lib/core/ptas/nfold_form.mli: Common Instance Nfold Rat

@@ -1,0 +1,1 @@
+lib/core/ptas/nonpreemptive_ptas.ml: Approx Array Bigint Common Hashtbl Instance List Option Printf Rat Schedule

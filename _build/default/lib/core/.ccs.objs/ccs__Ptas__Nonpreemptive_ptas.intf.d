@@ -1,0 +1,1 @@
+lib/core/ptas/nonpreemptive_ptas.mli: Common Instance Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/ptas/preemptive_ptas.ml: Approx Array Bigint Bounds Common Flow Fun Hashtbl Instance List Option Printf Rat Schedule

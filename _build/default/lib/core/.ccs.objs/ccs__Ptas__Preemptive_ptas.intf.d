@@ -1,0 +1,1 @@
+lib/core/ptas/preemptive_ptas.mli: Common Instance Rat Schedule

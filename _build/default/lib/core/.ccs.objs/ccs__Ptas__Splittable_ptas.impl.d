@@ -1,0 +1,1 @@
+lib/core/ptas/splittable_ptas.ml: Array Bigint Bounds Common Hashtbl Instance List Option Printf Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/ptas/splittable_ptas.mli: Common Instance Rat Schedule

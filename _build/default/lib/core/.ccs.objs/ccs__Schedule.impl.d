@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Buffer Hashtbl Instance Int List Option Printf Rat Set String

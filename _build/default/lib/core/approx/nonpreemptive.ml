@@ -1,0 +1,96 @@
+type stats = { t_guess : int; probes : int }
+
+(* C2_u: jobs > T/2 need distinct machines; jobs in (T/3, T/2] are paired
+   onto them greedily (largest fitting on the smallest remaining big job
+   maximizes the number of pairings); leftovers go two per machine. *)
+let cu_large ~t jobs =
+  let bigs = List.filter (fun p -> 2 * p > t) jobs |> List.sort compare in
+  let mids =
+    List.filter (fun p -> 2 * p <= t && 3 * p > t) jobs |> List.sort (fun a b -> compare b a)
+  in
+  let ku = List.length bigs in
+  (* two-pointer matching: mids descending against bigs ascending *)
+  let rec pair bigs mids unmatched =
+    match (bigs, mids) with
+    | _, [] -> unmatched
+    | [], rest -> unmatched + List.length rest
+    | b :: bs, mid :: ms ->
+        if b + mid <= t then pair bs ms unmatched
+        else pair bigs ms (unmatched + 1)
+  in
+  let lu = pair bigs mids 0 in
+  ku + ((lu + 1) / 2)
+
+let cu_area_only ~t jobs =
+  let total = List.fold_left ( + ) 0 jobs in
+  (total + t - 1) / t
+
+let cu ~t jobs = max (cu_area_only ~t jobs) (cu_large ~t jobs)
+
+let solve_with_counter ?(use_lpt = true) ~counter inst =
+  if not (Instance.schedulable inst) then
+    invalid_arg "Approx.Nonpreemptive.solve: C > c*m, no schedule exists";
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if m >= n then begin
+    (* One machine per job is optimal (makespan pmax = LB). *)
+    let sched = Array.init n (fun j -> j) in
+    (sched, { t_guess = Instance.pmax inst; probes = 0 })
+  end
+  else begin
+    let class_jobs = Instance.class_jobs inst in
+    let class_sizes =
+      Array.map (List.map (fun j -> (Instance.job inst j).Instance.p)) class_jobs
+    in
+    let cap = Border_search.slot_cap ~machines:m ~slots:(Instance.c inst) in
+    let probes = ref 0 in
+    let feasible t =
+      incr probes;
+      let count = ref 0 in
+      (try
+         Array.iter
+           (fun sizes ->
+             count := !count + counter ~t sizes;
+             if !count > cap then raise Exit)
+           class_sizes;
+         true
+       with Exit -> false)
+    in
+    let total = Instance.total_load inst in
+    let lb = max (Instance.pmax inst) ((total + m - 1) / m) in
+    let ub = max lb (Array.fold_left max 0 (Instance.class_load inst)) in
+    (* Integral makespan: standard binary search for the smallest feasible
+       guess (the count is monotone in T). *)
+    let lo = ref lb and hi = ref ub in
+    if not (feasible ub) then
+      invalid_arg "Approx.Nonpreemptive.solve: unschedulable at the upper bound";
+    while !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if feasible mid then hi := mid else lo := mid + 1
+    done;
+    let t = !lo in
+    (* Split every class into C_u sub-classes by LPT and round-robin the
+       sub-classes in non-ascending load order. *)
+    let items = ref [] in
+    Array.iteri
+      (fun u jobs ->
+        let sized = List.map (fun j -> (j, (Instance.job inst j).Instance.p)) jobs in
+        let bins = counter ~t (List.map snd sized) in
+        let content, load = Lpt.split ~sorted:use_lpt ~bins sized in
+        Array.iteri
+          (fun k part ->
+            if part <> [] then items := (load.(k), List.map fst part) :: !items)
+          content;
+        ignore u)
+      class_jobs;
+    let sorted = List.stable_sort (fun (a, _) (b, _) -> compare b a) (List.rev !items) in
+    let per_machine = Round_robin.assign ~machines:m sorted in
+    let assignment = Array.make n (-1) in
+    Array.iteri
+      (fun machine items ->
+        List.iter (fun (_, jobs) -> List.iter (fun j -> assignment.(j) <- machine) jobs) items)
+      per_machine;
+    (assignment, { t_guess = t; probes = !probes })
+  end
+
+let solve inst = solve_with_counter ~counter:cu inst

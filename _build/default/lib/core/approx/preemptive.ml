@@ -1,0 +1,92 @@
+module Q = Rat
+
+type stats = { t_guess : Q.t; probes : int; repacked : bool }
+
+(* A sub-class item: fragments (job, length) stacked in order; [size] is
+   their total. *)
+type item = { size : Q.t; frags : (int * Q.t) list }
+
+let solve inst =
+  if not (Instance.schedulable inst) then
+    invalid_arg "Approx.Preemptive.solve: C > c*m, no schedule exists";
+  let n = Instance.n inst in
+  let m = Instance.m inst in
+  if m >= n then begin
+    (* One machine per job: makespan pmax = LB, an optimal schedule. *)
+    let sched =
+      Array.init n (fun j ->
+          [ { Schedule.pjob = j; start = Q.zero; len = Q.of_int (Instance.job inst j).Instance.p } ])
+    in
+    (sched, { t_guess = Q.of_int (Instance.pmax inst); probes = 0; repacked = false })
+  end
+  else begin
+    let loads = Instance.class_load inst in
+    let lb = Bounds.lb_preemptive inst in
+    let { Border_search.t_star = t; probes } =
+      Border_search.search ~loads ~machines:m ~slots:(Instance.c inst) ~lb
+    in
+    (* Cut each large class's job concatenation at multiples of T. Because
+       T >= pmax, a job is cut at most once. *)
+    let class_jobs = Instance.class_jobs inst in
+    let items = ref [] in
+    let any_split = ref false in
+    Array.iteri
+      (fun u pu ->
+        let pu_q = Q.of_int pu in
+        if Q.(pu_q > t) then begin
+          any_split := true;
+          let current = ref [] and current_size = ref Q.zero in
+          let flush () =
+            if Q.sign !current_size > 0 then begin
+              items := { size = !current_size; frags = List.rev !current } :: !items;
+              current := [];
+              current_size := Q.zero
+            end
+          in
+          List.iter
+            (fun j ->
+              let remaining = ref (Q.of_int (Instance.job inst j).Instance.p) in
+              while Q.sign !remaining > 0 do
+                let room = Q.sub t !current_size in
+                let take = Q.min room !remaining in
+                current := (j, take) :: !current;
+                current_size := Q.add !current_size take;
+                remaining := Q.sub !remaining take;
+                if Q.(Q.sub t !current_size = Q.zero) then flush ()
+              done)
+            class_jobs.(u);
+          flush ()
+        end
+        else begin
+          let frags =
+            List.map (fun j -> (j, Q.of_int (Instance.job inst j).Instance.p)) class_jobs.(u)
+          in
+          items := { size = pu_q; frags } :: !items
+        end)
+      loads;
+    (* Stable sort on the build order keeps same-class slices consecutive
+       and in slicing order among equal sizes, as in Figure 1. *)
+    let sorted = List.stable_sort (fun a b -> Q.compare b.size a.size) (List.rev !items) in
+    let per_machine = Round_robin.assign ~machines:m sorted in
+    (* Stack items bottom-up; if any class was split, shift everything above
+       each machine's first item to start at time T (Algorithm 2). *)
+    let repack = !any_split in
+    let sched =
+      Array.map
+        (fun machine_items ->
+          let pieces = ref [] in
+          let top = ref Q.zero in
+          List.iteri
+            (fun idx item ->
+              if repack && idx = 1 then top := Q.max !top t;
+              List.iter
+                (fun (j, len) ->
+                  pieces := { Schedule.pjob = j; start = !top; len } :: !pieces;
+                  top := Q.add !top len)
+                item.frags)
+            machine_items;
+          List.rev !pieces)
+        per_machine
+    in
+    (sched, { t_guess = t; probes; repacked = repack })
+  end

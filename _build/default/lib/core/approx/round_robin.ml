@@ -1,0 +1,18 @@
+(* Round robin (the cyclic placement of Section 3, Figure 1): items sorted
+   non-ascending by size, item i on machine (i mod m). Lemma 3 then bounds
+   the resulting makespan by (sum sizes)/m + max size. *)
+
+(* [assign ~machines items] requires [items] sorted non-ascending by their
+   caller-defined size and returns one list per machine, bottom-up placement
+   order preserved. *)
+let assign ~machines items =
+  if machines <= 0 then invalid_arg "Round_robin.assign";
+  let out = Array.make machines [] in
+  List.iteri (fun i item -> out.(i mod machines) <- item :: out.(i mod machines)) items;
+  Array.map List.rev out
+
+(* The Lemma 3 guarantee, for tests: average plus maximum. *)
+let lemma3_bound ~machines sizes =
+  let total = List.fold_left Rat.add Rat.zero sizes in
+  let maximum = List.fold_left Rat.max Rat.zero sizes in
+  Rat.add (Rat.div total (Rat.of_int machines)) maximum

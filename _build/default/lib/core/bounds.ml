@@ -1,0 +1,12 @@
+module Q = Rat
+
+let lb_splittable inst =
+  Q.make (Bigint.of_int (Instance.total_load inst)) (Bigint.of_int (Instance.m inst))
+
+let lb_preemptive inst = Q.max (Q.of_int (Instance.pmax inst)) (lb_splittable inst)
+
+let ub_splittable inst =
+  let max_load = Array.fold_left max 0 (Instance.class_load inst) in
+  Q.mul (Q.of_int (Instance.c inst)) (Q.of_int max_load)
+
+let ub_integral inst = Instance.n inst * Instance.pmax inst

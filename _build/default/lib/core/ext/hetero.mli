@@ -1,0 +1,37 @@
+(** Machine-dependent class slots — the variant the paper closes with.
+
+    Section 5 points to the generalization where each machine [i] has its
+    own slot budget [c_i] (known to admit an EPTAS when every class has one
+    job, Chen et al. 2016). The paper leaves general CCS with heterogeneous
+    slots open; this module supplies the practical toolkit for it:
+
+    - an independent validator for the non-preemptive regime,
+    - a slot-aware list-scheduling heuristic (greedy over sub-classes, in
+      the spirit of Theorem 6's framework: classes are split by the same
+      [C_u] rule against the aggregate slot capacity, then placed on the
+      least-loaded machine still offering a slot),
+    - an exact branch & bound for ground truth on small instances.
+
+    The heuristic carries no proven ratio (that is precisely the open
+    problem); the bench harness measures it against the exact optimum. *)
+
+type t = private {
+  base : Instance.t;  (** machine count of [base] equals the array length *)
+  slots : int array;  (** c_i for each machine *)
+}
+
+(** Raises [Invalid_argument] if lengths mismatch or any budget is
+    non-positive. The base instance's uniform [c] is ignored. *)
+val make : Instance.t -> int array -> t
+
+(** Any schedule at all exists iff sum_i c_i >= C. *)
+val schedulable : t -> bool
+
+val validate : t -> Schedule.nonpreemptive -> (int, string) result
+
+(** Greedy heuristic; raises [Invalid_argument] when unschedulable. *)
+val solve_greedy : t -> Schedule.nonpreemptive
+
+(** Exact optimum by branch & bound; [None] if the node budget is exhausted
+    or the instance is unschedulable. *)
+val solve_exact : ?node_limit:int -> t -> (int * Schedule.nonpreemptive) option

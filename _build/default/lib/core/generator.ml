@@ -1,0 +1,58 @@
+module Prng = Ccs_util.Prng
+
+type family = Uniform | Zipf | Heavy_classes | Large_jobs
+
+type spec = {
+  n : int;
+  classes : int;
+  machines : int;
+  slots : int;
+  p_lo : int;
+  p_hi : int;
+  family : family;
+}
+
+let default =
+  { n = 40; classes = 8; machines = 5; slots = 3; p_lo = 1; p_hi = 100; family = Uniform }
+
+let generate ~seed spec =
+  if spec.n <= 0 || spec.classes <= 0 then invalid_arg "Generator.generate";
+  let rng = Prng.create seed in
+  let pick_class =
+    match spec.family with
+    | Uniform | Large_jobs -> fun () -> Prng.int rng spec.classes
+    | Zipf ->
+        let weights =
+          Array.init spec.classes (fun i -> 1.0 /. float_of_int (i + 1))
+        in
+        fun () -> Prng.weighted rng weights
+    | Heavy_classes ->
+        (* 80% of jobs land in the first max(1, classes/4) classes. *)
+        let heavy = max 1 (spec.classes / 4) in
+        if heavy >= spec.classes then fun () -> Prng.int rng spec.classes
+        else
+          fun () ->
+            if Prng.float rng < 0.8 then Prng.int rng heavy
+            else heavy + Prng.int rng (spec.classes - heavy)
+  in
+  let pick_p =
+    match spec.family with
+    | Uniform | Zipf | Heavy_classes -> fun () -> Prng.int_in rng spec.p_lo spec.p_hi
+    | Large_jobs ->
+        (* Jobs clustered just above p_hi/2 and just above p_hi/3: the
+           regimes distinguished by the non-preemptive C_u^2 computation. *)
+        fun () ->
+          let r = Prng.float rng in
+          if r < 0.4 then Prng.int_in rng ((spec.p_hi / 2) + 1) spec.p_hi
+          else if r < 0.8 then Prng.int_in rng ((spec.p_hi / 3) + 1) (spec.p_hi / 2)
+          else Prng.int_in rng (max 1 spec.p_lo) (max 1 (spec.p_hi / 3))
+  in
+  let jobs = List.init spec.n (fun _ -> (pick_p (), pick_class ())) in
+  Instance.make ~machines:spec.machines ~slots:spec.slots jobs
+
+let figure1_example () =
+  (* Ten classes with strictly decreasing loads, four machines, two slots:
+     round robin wraps exactly as in Figure 1. *)
+  let sizes = [ 20; 18; 16; 14; 12; 10; 8; 6; 4; 2 ] in
+  let jobs = List.concat (List.mapi (fun u s -> [ (s, u) ]) sizes) in
+  Instance.make ~machines:4 ~slots:3 jobs

@@ -1,0 +1,35 @@
+(** Reproducible workload generators for experiments.
+
+    The paper evaluates nothing empirically (it is a theory paper), so these
+    families are designed to stress the algorithms where their analyses are
+    tight: many small classes (round-robin pressure), few heavy classes
+    (splitting pressure), Zipf-distributed class sizes (the data-placement
+    motivation: few hot databases, many cold ones), and adversarial large-job
+    mixes for the non-preemptive 7/3 bound (jobs straddling T/2 and T/3). *)
+
+type family =
+  | Uniform  (** uniform p in [p_lo, p_hi], uniform class choice *)
+  | Zipf  (** class popularity ~ 1/rank (data-placement / VoD shape) *)
+  | Heavy_classes  (** a few classes hold most of the load *)
+  | Large_jobs  (** p concentrated in (T/3, T] for the 7/3 analysis *)
+
+type spec = {
+  n : int;
+  classes : int;
+  machines : int;
+  slots : int;
+  p_lo : int;
+  p_hi : int;
+  family : family;
+}
+
+val default : spec
+
+(** Deterministic from the seed. Guarantees: exactly [n] jobs, every class
+    non-empty is NOT guaranteed (Instance.make renumbers densely). *)
+val generate : seed:int -> spec -> Instance.t
+
+(** The 10-class example of the paper's Figure 1 (sizes chosen to reproduce
+    the illustrated layout: four classes of decreasing size above T/2, six
+    more below). *)
+val figure1_example : unit -> Instance.t

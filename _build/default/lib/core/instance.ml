@@ -1,0 +1,69 @@
+type job = { p : int; cls : int }
+
+type t = { jobs : job array; machines : int; slots : int; classes : int }
+
+let make ~machines ~slots jobs =
+  if jobs = [] then invalid_arg "Instance.make: no jobs";
+  if machines <= 0 then invalid_arg "Instance.make: machines must be positive";
+  if slots <= 0 then invalid_arg "Instance.make: slots must be positive";
+  List.iter
+    (fun (p, cls) ->
+      if p <= 0 then invalid_arg "Instance.make: processing times must be positive";
+      if cls < 0 then invalid_arg "Instance.make: classes must be non-negative")
+    jobs;
+  (* Dense renumbering of the classes that actually occur, preserving order
+     of first appearance of the original ids (sorted). *)
+  let module IS = Set.Make (Int) in
+  let used = List.fold_left (fun acc (_, cls) -> IS.add cls acc) IS.empty jobs in
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  IS.iter
+    (fun cls ->
+      Hashtbl.replace mapping cls !next;
+      incr next)
+    used;
+  let classes = !next in
+  let jobs =
+    Array.of_list
+      (List.map (fun (p, cls) -> { p; cls = Hashtbl.find mapping cls }) jobs)
+  in
+  { jobs; machines; slots = min slots classes; classes }
+
+let n t = Array.length t.jobs
+let m t = t.machines
+let c t = t.slots
+let num_classes t = t.classes
+
+let job t i = t.jobs.(i)
+
+let total_load t = Array.fold_left (fun acc j -> acc + j.p) 0 t.jobs
+
+let pmax t = Array.fold_left (fun acc j -> max acc j.p) 0 t.jobs
+
+let class_load t =
+  let loads = Array.make t.classes 0 in
+  Array.iter (fun j -> loads.(j.cls) <- loads.(j.cls) + j.p) t.jobs;
+  loads
+
+let class_jobs t =
+  let buckets = Array.make t.classes [] in
+  for i = Array.length t.jobs - 1 downto 0 do
+    let cls = t.jobs.(i).cls in
+    buckets.(cls) <- i :: buckets.(cls)
+  done;
+  buckets
+
+let schedulable t =
+  (* C <= c * m, phrased divisionally so huge m cannot overflow. *)
+  t.machines >= (t.classes + t.slots - 1) / t.slots
+
+let encoding_length t =
+  let bits x = max 1 (int_of_float (ceil (log (float_of_int (max 2 x)) /. log 2.0))) in
+  Array.fold_left (fun acc j -> acc + bits j.p + bits (j.cls + 1)) 0 t.jobs
+  + Array.length t.jobs + bits t.machines
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>CCS instance: n=%d, m=%d, c=%d, C=%d@,jobs:" (n t) t.machines
+    t.slots t.classes;
+  Array.iteri (fun i j -> Format.fprintf fmt "@, %3d: p=%d class=%d" i j.p j.cls) t.jobs;
+  Format.fprintf fmt "@]"

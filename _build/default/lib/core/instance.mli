@@ -1,0 +1,50 @@
+(** Class Constrained Scheduling instances.
+
+    An instance is [n] jobs, each with an integral processing time
+    [p_j >= 1] and a class [c_j] in [0 .. classes-1]; [machines] identical
+    machines; and a per-machine budget of [slots] class slots (a machine may
+    run jobs from at most [slots] distinct classes). This is the input
+    [I = [p_1..p_n, c_1..c_n, m, c]] of the paper, 0-indexed. *)
+
+type job = { p : int; cls : int }
+
+type t = private {
+  jobs : job array;
+  machines : int;  (** m; may be astronomically larger than n *)
+  slots : int;  (** c *)
+  classes : int;  (** C; every class in [0, C) has at least one job *)
+}
+
+(** [make ~machines ~slots jobs] builds and validates an instance. Classes
+    are renumbered densely (empty classes are discarded, matching the paper's
+    assumption C <= n). Slots are clamped to [min slots C] — a machine can
+    never use more distinct classes than exist (the paper's observation that
+    c <= C, c <= n is w.l.o.g.). Raises [Invalid_argument] on empty jobs,
+    non-positive processing times or machine/slot counts. *)
+val make : machines:int -> slots:int -> (int * int) list -> t
+
+val n : t -> int
+val m : t -> int
+val c : t -> int
+val num_classes : t -> int
+
+val job : t -> int -> job
+
+(** Sum of all processing times. *)
+val total_load : t -> int
+
+val pmax : t -> int
+
+(** [class_load t] is the array of accumulated loads [P_u]. *)
+val class_load : t -> int array
+
+(** [class_jobs t].(u) lists job indices of class [u] in increasing order. *)
+val class_jobs : t -> int list array
+
+(** True iff any schedule exists at all: C <= c * m. *)
+val schedulable : t -> bool
+
+(** Encoding length |I| in bits, as defined in the paper's introduction. *)
+val encoding_length : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+let to_string inst =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "ccs 1\n";
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" (Instance.m inst));
+  Buffer.add_string buf (Printf.sprintf "slots %d\n" (Instance.c inst));
+  for i = 0 to Instance.n inst - 1 do
+    let j = Instance.job inst i in
+    Buffer.add_string buf (Printf.sprintf "job %d %d\n" j.Instance.p j.Instance.cls)
+  done;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let machines = ref None and slots = ref None and jobs = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then begin
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let tokens =
+          String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "")
+        in
+        let fail msg = error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+        match tokens with
+        | [] -> ()
+        | [ "ccs"; "1" ] -> ()
+        | [ "machines"; v ] -> (
+            match int_of_string_opt v with
+            | Some m when m > 0 -> machines := Some m
+            | _ -> fail "bad machine count")
+        | [ "slots"; v ] -> (
+            match int_of_string_opt v with
+            | Some c when c > 0 -> slots := Some c
+            | _ -> fail "bad slot count")
+        | [ "job"; pv; cv ] -> (
+            match (int_of_string_opt pv, int_of_string_opt cv) with
+            | Some p, Some cls when p > 0 && cls >= 0 -> jobs := (p, cls) :: !jobs
+            | _ -> fail "bad job line")
+        | _ -> fail "unrecognized line"
+      end)
+    lines;
+  match (!error, !machines, !slots, List.rev !jobs) with
+  | Some e, _, _, _ -> Error e
+  | None, None, _, _ -> Error "missing 'machines' line"
+  | None, _, None, _ -> Error "missing 'slots' line"
+  | None, _, _, [] -> Error "no jobs"
+  | None, Some m, Some c, jobs -> (
+      try Ok (Instance.make ~machines:m ~slots:c jobs)
+      with Invalid_argument msg -> Error msg)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let save path inst = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string inst))

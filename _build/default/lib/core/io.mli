@@ -1,0 +1,15 @@
+(** Plain-text instance serialization, for the CLI tools and examples.
+
+    Format (one token group per line, '#' comments allowed):
+    {v
+      ccs 1
+      machines <m>
+      slots <c>
+      job <p> <class>
+      ...
+    v} *)
+
+val to_string : Instance.t -> string
+val of_string : string -> (Instance.t, string) result
+val load : string -> (Instance.t, string) result
+val save : string -> Instance.t -> unit

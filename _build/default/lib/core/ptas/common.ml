@@ -1,0 +1,110 @@
+module Q = Rat
+
+type param = { d : int }
+
+let param d =
+  if d < 1 then invalid_arg "Ptas.Common.param: need 1/delta >= 1";
+  { d }
+
+let delta p = Q.of_ints 1 p.d
+
+exception Too_many
+
+let multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
+  let parts = List.sort_uniq (fun a b -> compare b a) parts in
+  let out = ref [] in
+  let count = ref 0 in
+  (* DFS over parts in descending order; [current] is built descending. *)
+  let rec go parts current sum cnt =
+    incr count;
+    if !count > limit then raise Too_many;
+    out := List.rev current :: !out;
+    match parts with
+    | [] -> ()
+    | v :: rest ->
+        if cnt < max_count && sum + v <= max_sum then go parts (v :: current) (sum + v) (cnt + 1);
+        go rest current sum cnt
+  in
+  ignore (go parts [] 0 0);
+  (* dedupe: the DFS above emits each prefix once per branch; collect unique *)
+  List.sort_uniq compare !out
+
+let bounded_multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
+  let parts = List.sort (fun (a, _) (b, _) -> compare b a) parts in
+  let out = ref [] in
+  let count = ref 0 in
+  let rec go parts current sum cnt =
+    incr count;
+    if !count > limit then raise Too_many;
+    out := List.rev current :: !out;
+    match parts with
+    | [] -> ()
+    | (v, mult) :: rest ->
+        if mult > 0 && cnt < max_count && sum + v <= max_sum then
+          go ((v, mult - 1) :: rest) (v :: current) (sum + v) (cnt + 1);
+        go rest current sum cnt
+  in
+  ignore (go parts [] 0 0);
+  List.sort_uniq compare !out
+
+exception Budget_exceeded
+
+type row = { coeffs : (int * int) list; cmp : Lp.cmp; rhs : int }
+
+let row_eq coeffs rhs = { coeffs; cmp = Lp.Eq; rhs }
+let row_le coeffs rhs = { coeffs; cmp = Lp.Le; rhs }
+let row_ge coeffs rhs = { coeffs; cmp = Lp.Ge; rhs }
+
+let solve_int_feasibility ?(max_nodes = 50_000) ~nvars ~upper rows =
+  let to_q = Q.of_int in
+  let constraints =
+    List.map
+      (fun r ->
+        let coeffs =
+          (* merge duplicate variable indices *)
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun (j, v) ->
+              Hashtbl.replace tbl j (v + Option.value ~default:0 (Hashtbl.find_opt tbl j)))
+            r.coeffs;
+          Hashtbl.fold (fun j v acc -> if v = 0 then acc else (j, to_q v) :: acc) tbl []
+        in
+        Lp.constr coeffs r.cmp (to_q r.rhs))
+      rows
+  in
+  let upper_q = Array.map (Option.map to_q) upper in
+  let lp =
+    Lp.problem ~upper:upper_q ~nvars ~objective:(Array.make nvars Q.zero) constraints
+  in
+  match Ilp.solve ~max_nodes ~feasibility:true (Ilp.all_integer lp) with
+  | Ilp.Optimal { solution; _ } ->
+      Some (Array.map (fun v -> Bigint.to_int_exn (Q.num v)) solution)
+  | Ilp.Infeasible -> None
+  | Ilp.Node_limit -> raise Budget_exceeded
+  | Ilp.Unbounded -> None
+
+let geometric_search ~lb ~ub ~delta ~oracle =
+  if Q.(ub < lb) then invalid_arg "geometric_search: ub < lb";
+  let step = Q.add Q.one delta in
+  (* grid index of the first point >= ub *)
+  let rec grid_size i t = if Q.(t >= ub) then i else grid_size (i + 1) (Q.mul t step) in
+  let imax = grid_size 0 lb in
+  let point i =
+    let rec go acc k = if k = 0 then acc else go (Q.mul acc step) (k - 1) in
+    Q.min ub (go lb i)
+  in
+  (* binary search the smallest accepted index *)
+  match oracle (point imax) with
+  | None -> failwith "geometric_search: oracle rejected the upper bound"
+  | Some witness_ub ->
+      let best = ref (witness_ub, point imax) in
+      let lo = ref 0 and hi = ref imax in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        match oracle (point mid) with
+        | Some w ->
+            best := (w, point mid);
+            hi := mid
+        | None -> lo := mid + 1
+      done;
+      !best

@@ -1,0 +1,57 @@
+(** Shared machinery for the three PTASs of Section 4.
+
+    All three follow the same dual-approximation skeleton (Hochbaum-Shmoys):
+    a guess T on the makespan, an oracle that either produces a schedule of
+    makespan (1+O(delta))T or correctly reports that no schedule of makespan
+    T exists, and a geometric binary search driving the guess down. The
+    accuracy parameter is delta = 1/d with integral d, as the paper
+    assumes. *)
+
+type param = { d : int  (** 1/delta; d >= 1 *) }
+
+val param : int -> param
+val delta : param -> Rat.t
+
+(** All multisets (as sorted-descending lists) over the given distinct part
+    values, with sum <= [max_sum] and at most [max_count] parts. Includes
+    the empty multiset. Raises [Too_many] beyond [limit] (default 200000) —
+    the configuration spaces of Section 4 are exponential in 1/delta, and
+    exceeding the cap means the requested accuracy is out of practical
+    reach. *)
+exception Too_many
+
+val multisets :
+  ?limit:int -> parts:int list -> max_sum:int -> max_count:int -> unit -> int list list
+
+(** Like {!multisets} but each part value [v] has a limited multiplicity
+    [mult v] (used to enumerate the sub-multisets of one class's job-size
+    histogram in the non-preemptive PTAS). *)
+val bounded_multisets :
+  ?limit:int -> parts:(int * int) list -> max_sum:int -> max_count:int -> unit -> int list list
+
+(** Raised when the branch & bound exhausts its node budget: the answer is
+    unknown, and silently reporting "infeasible" would break the PTAS
+    completeness guarantee, so the failure is loud. *)
+exception Budget_exceeded
+
+(** Integer-feasibility wrapper around {!Ilp}: rows over int coefficients,
+    all variables integral in [0, upper_j] ([None] = unbounded above).
+    Returns a witness assignment or [None] iff provably infeasible; raises
+    {!Budget_exceeded} after [max_nodes] B&B nodes. *)
+type row = { coeffs : (int * int) list; cmp : Lp.cmp; rhs : int }
+
+val row_eq : (int * int) list -> int -> row
+val row_le : (int * int) list -> int -> row
+val row_ge : (int * int) list -> int -> row
+
+val solve_int_feasibility :
+  ?max_nodes:int -> nvars:int -> upper:int option array -> row list -> int array option
+
+(** [geometric_search ~lb ~ub ~delta ~oracle] finds the smallest grid point
+    [T = lb * (1+delta)^i] (clamped to [ub]) accepted by the oracle and
+    returns the oracle's witness together with the accepted guess. The
+    oracle must be monotone (accepting T implies accepting any larger grid
+    point); this is the standard dual-approximation argument. Raises
+    [Failure] if even [ub] is rejected. *)
+val geometric_search :
+  lb:Rat.t -> ub:Rat.t -> delta:Rat.t -> oracle:(Rat.t -> 'a option) -> 'a * Rat.t

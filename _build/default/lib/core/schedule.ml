@@ -1,0 +1,305 @@
+module Q = Rat
+
+type block = { cls : int; m_start : int; m_count : int; per_machine : Q.t }
+
+type splittable = {
+  blocks : block list;
+  explicit_machines : (int * (int * Q.t) list) list;
+}
+
+type piece = { job : int; size : Q.t }
+
+let splittable_makespan s =
+  let block_max =
+    List.fold_left (fun acc b -> Q.max acc b.per_machine) Q.zero s.blocks
+  in
+  (* A machine can appear in a block and in the explicit list; combine. *)
+  let in_block m =
+    List.fold_left
+      (fun acc b ->
+        if m >= b.m_start && m < b.m_start + b.m_count then Q.add acc b.per_machine
+        else acc)
+      Q.zero s.blocks
+  in
+  List.fold_left
+    (fun acc (m, loads) ->
+      let total =
+        List.fold_left (fun t (_, l) -> Q.add t l) (in_block m) loads
+      in
+      Q.max acc total)
+    block_max s.explicit_machines
+
+let validate_splittable inst s =
+  let mcount = Instance.m inst in
+  let fail msg = Error msg in
+  let rec check_blocks = function
+    | [] -> Ok ()
+    | b :: rest ->
+        if b.m_count <= 0 then fail "block with non-positive machine count"
+        else if b.m_start < 0 || b.m_start + b.m_count > mcount then
+          fail "block out of machine range"
+        else if Q.sign b.per_machine <= 0 then fail "block with non-positive load"
+        else if b.cls < 0 || b.cls >= Instance.num_classes inst then fail "block with bad class"
+        else if
+          List.exists
+            (fun b' ->
+              b'.m_start < b.m_start + b.m_count && b.m_start < b'.m_start + b'.m_count)
+            rest
+        then fail "overlapping blocks"
+        else check_blocks rest
+  in
+  match check_blocks s.blocks with
+  | Error _ as e -> e
+  | Ok () -> (
+      (* explicit machines: indices valid and unique *)
+      let seen = Hashtbl.create 16 in
+      let explicit_ok =
+        List.for_all
+          (fun (m, loads) ->
+            let fresh = not (Hashtbl.mem seen m) in
+            Hashtbl.replace seen m ();
+            fresh && m >= 0 && m < mcount
+            && List.for_all
+                 (fun (cls, l) ->
+                   Q.sign l > 0 && cls >= 0 && cls < Instance.num_classes inst)
+                 loads)
+          s.explicit_machines
+      in
+      if not explicit_ok then fail "bad explicit machine entry"
+      else begin
+        (* per-class totals *)
+        let totals = Array.make (Instance.num_classes inst) Q.zero in
+        List.iter
+          (fun b ->
+            totals.(b.cls) <-
+              Q.add totals.(b.cls) (Q.mul b.per_machine (Q.of_int b.m_count)))
+          s.blocks;
+        List.iter
+          (fun (_, loads) ->
+            List.iter (fun (cls, l) -> totals.(cls) <- Q.add totals.(cls) l) loads)
+          s.explicit_machines;
+        let class_load = Instance.class_load inst in
+        let mismatch = ref None in
+        Array.iteri
+          (fun u total ->
+            if !mismatch = None && not (Q.equal total (Q.of_int class_load.(u))) then
+              mismatch := Some u)
+          totals;
+        match !mismatch with
+        | Some u ->
+            fail (Printf.sprintf "class %d: scheduled %s but P_u = %d" u
+                    (Q.to_string totals.(u)) class_load.(u))
+        | None ->
+            (* class-slot constraint per machine: every machine of a block has
+               that block's class; explicit machines add their listed classes.
+               Explicit machines falling inside blocks combine. *)
+            let distinct_classes m loads =
+              let module IS = Set.Make (Int) in
+              let base =
+                List.fold_left
+                  (fun acc b ->
+                    if m >= b.m_start && m < b.m_start + b.m_count then IS.add b.cls acc
+                    else acc)
+                  IS.empty s.blocks
+              in
+              let all = List.fold_left (fun acc (cls, _) -> IS.add cls acc) base loads in
+              IS.cardinal all
+            in
+            let slot_violation =
+              List.exists
+                (fun (m, loads) -> distinct_classes m loads > Instance.c inst)
+                s.explicit_machines
+            in
+            if slot_violation then fail "machine exceeds class slots"
+            else Ok (splittable_makespan s)
+      end)
+
+let to_job_pieces ?(limit = 1_000_000) inst s =
+  (* Gather per-class machine loads in increasing machine order, then cut the
+     class's jobs (index order) canonically. *)
+  let nclasses = Instance.num_classes inst in
+  let per_class = Array.make nclasses [] in
+  List.iter
+    (fun b ->
+      if b.m_count > limit then invalid_arg "Schedule.to_job_pieces: too many machines";
+      for k = b.m_count - 1 downto 0 do
+        per_class.(b.cls) <- (b.m_start + k, b.per_machine) :: per_class.(b.cls)
+      done)
+    s.blocks;
+  List.iter
+    (fun (m, loads) ->
+      List.iter (fun (cls, l) -> per_class.(cls) <- (m, l) :: per_class.(cls)) loads)
+    s.explicit_machines;
+  let machines : (int, piece list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_piece m pc =
+    match Hashtbl.find_opt machines m with
+    | Some r -> r := pc :: !r
+    | None ->
+        if Hashtbl.length machines >= limit then
+          invalid_arg "Schedule.to_job_pieces: too many machines";
+        Hashtbl.replace machines m (ref [ pc ])
+  in
+  let class_jobs = Instance.class_jobs inst in
+  for u = 0 to nclasses - 1 do
+    let loads = List.sort (fun (a, _) (b, _) -> compare a b) per_class.(u) in
+    (* jobs of class u as a queue of (job, remaining) *)
+    let jobs = ref (List.map (fun j -> (j, Q.of_int (Instance.job inst j).Instance.p)) class_jobs.(u)) in
+    List.iter
+      (fun (m, load) ->
+        let remaining = ref load in
+        while Q.sign !remaining > 0 do
+          match !jobs with
+          | [] -> invalid_arg "Schedule.to_job_pieces: class over-scheduled"
+          | (j, rem) :: rest ->
+              let take = Q.min rem !remaining in
+              add_piece m { job = j; size = take };
+              remaining := Q.sub !remaining take;
+              let rem' = Q.sub rem take in
+              if Q.sign rem' = 0 then jobs := rest else jobs := (j, rem') :: rest
+        done)
+      loads
+  done;
+  Hashtbl.fold (fun m r acc -> (m, List.rev !r) :: acc) machines []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+
+type ppiece = { pjob : int; start : Q.t; len : Q.t }
+
+type preemptive = ppiece list array
+
+let preemptive_makespan sched =
+  Array.fold_left
+    (fun acc pieces ->
+      List.fold_left (fun a pc -> Q.max a (Q.add pc.start pc.len)) acc pieces)
+    Q.zero sched
+
+let intervals_overlap (s1, e1) (s2, e2) = Q.(s1 < e2) && Q.(s2 < e1)
+
+let validate_preemptive inst sched =
+  let fail msg = Error msg in
+  if Array.length sched > Instance.m inst then fail "more machines used than available"
+  else begin
+    let n = Instance.n inst in
+    let job_pieces = Array.make n [] in
+    let ok = ref (Ok ()) in
+    Array.iteri
+      (fun mi pieces ->
+        (* per-machine checks *)
+        let module IS = Set.Make (Int) in
+        let classes = ref IS.empty in
+        let sorted =
+          List.sort (fun a b -> Q.compare a.start b.start) pieces
+        in
+        let rec disjoint = function
+          | a :: (b :: _ as rest) ->
+              if Q.(Q.add a.start a.len > b.start) then false else disjoint rest
+          | _ -> true
+        in
+        if not (disjoint sorted) then
+          ok := fail (Printf.sprintf "machine %d: overlapping pieces" mi);
+        List.iter
+          (fun pc ->
+            if pc.pjob < 0 || pc.pjob >= n then ok := fail "bad job index";
+            if Q.sign pc.len <= 0 then ok := fail "non-positive piece";
+            if Q.sign pc.start < 0 then ok := fail "negative start";
+            classes := IS.add (Instance.job inst pc.pjob).Instance.cls !classes;
+            job_pieces.(pc.pjob) <- (pc.start, Q.add pc.start pc.len) :: job_pieces.(pc.pjob))
+          pieces;
+        if IS.cardinal !classes > Instance.c inst then
+          ok := fail (Printf.sprintf "machine %d: too many classes" mi))
+      sched;
+    match !ok with
+    | Error _ as e -> e
+    | Ok () ->
+        (* each job scheduled fully and never in parallel with itself *)
+        let bad = ref None in
+        for j = 0 to n - 1 do
+          if !bad = None then begin
+            let total =
+              List.fold_left (fun acc (s, e) -> Q.add acc (Q.sub e s)) Q.zero job_pieces.(j)
+            in
+            if not (Q.equal total (Q.of_int (Instance.job inst j).Instance.p)) then
+              bad := Some (Printf.sprintf "job %d: scheduled %s of %d" j (Q.to_string total)
+                             (Instance.job inst j).Instance.p)
+            else begin
+              let sorted = List.sort (fun (a, _) (b, _) -> Q.compare a b) job_pieces.(j) in
+              let rec check = function
+                | x :: (y :: _ as rest) ->
+                    if intervals_overlap x y then
+                      bad := Some (Printf.sprintf "job %d runs in parallel with itself" j)
+                    else check rest
+                | _ -> ()
+              in
+              check sorted
+            end
+          end
+        done;
+        (match !bad with Some msg -> fail msg | None -> Ok (preemptive_makespan sched))
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type nonpreemptive = int array
+
+let nonpreemptive_makespan inst assignment =
+  let loads = Hashtbl.create 64 in
+  Array.iteri
+    (fun j mi ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt loads mi) in
+      Hashtbl.replace loads mi (cur + (Instance.job inst j).Instance.p))
+    assignment;
+  Hashtbl.fold (fun _ l acc -> max l acc) loads 0
+
+let validate_nonpreemptive inst assignment =
+  if Array.length assignment <> Instance.n inst then Error "wrong assignment length"
+  else begin
+    let bad = ref None in
+    let machine_classes : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    Array.iteri
+      (fun j mi ->
+        if mi < 0 || mi >= Instance.m inst then bad := Some (Printf.sprintf "job %d: bad machine" j)
+        else begin
+          let tbl =
+            match Hashtbl.find_opt machine_classes mi with
+            | Some t -> t
+            | None ->
+                let t = Hashtbl.create 4 in
+                Hashtbl.replace machine_classes mi t;
+                t
+          in
+          Hashtbl.replace tbl (Instance.job inst j).Instance.cls ()
+        end)
+      assignment;
+    Hashtbl.iter
+      (fun mi tbl ->
+        if Hashtbl.length tbl > Instance.c inst then
+          bad := Some (Printf.sprintf "machine %d: %d classes > c" mi (Hashtbl.length tbl)))
+      machine_classes;
+    match !bad with
+    | Some msg -> Error msg
+    | None -> Ok (nonpreemptive_makespan inst assignment)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let render_loads ?(width = 8) machines =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun mi entries ->
+      Buffer.add_string buf (Printf.sprintf "m%-3d |" mi);
+      List.iter
+        (fun (label, load) ->
+          let cells =
+            max 1 (int_of_float (Q.to_float load *. float_of_int width /. 4.0))
+          in
+          let text = label in
+          let text =
+            if String.length text >= cells then String.sub text 0 cells
+            else text ^ String.make (cells - String.length text) ' '
+          in
+          Buffer.add_string buf (Printf.sprintf "%s|" text))
+        entries;
+      Buffer.add_char buf '\n')
+    machines;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/exact/bnb.ml: Array Ccs Hashtbl

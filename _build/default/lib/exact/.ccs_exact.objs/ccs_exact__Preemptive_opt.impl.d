@@ -1,0 +1,1 @@
+lib/exact/preemptive_opt.ml: Array Ccs Flow Ilp List Lp Option Rat

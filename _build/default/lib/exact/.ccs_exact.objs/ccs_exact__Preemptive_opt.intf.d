@@ -1,0 +1,1 @@
+lib/exact/preemptive_opt.mli: Ccs Rat

@@ -1,0 +1,1 @@
+lib/exact/splittable_opt.ml: Array Ccs Ilp List Lp Option Rat

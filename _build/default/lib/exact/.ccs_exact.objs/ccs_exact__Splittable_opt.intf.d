@@ -1,0 +1,1 @@
+lib/exact/splittable_opt.mli: Ccs Rat

@@ -1,0 +1,103 @@
+let solve ?(node_limit = 50_000_000) inst =
+  if not (Ccs.Instance.schedulable inst) then None
+  else begin
+    let n = Ccs.Instance.n inst in
+    let m = min (Ccs.Instance.m inst) n in
+    let c = Ccs.Instance.c inst in
+    (* jobs sorted non-increasing: big jobs branch first *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> compare (Ccs.Instance.job inst b).Ccs.Instance.p (Ccs.Instance.job inst a).Ccs.Instance.p)
+      order;
+    let p = Array.map (fun i -> (Ccs.Instance.job inst i).Ccs.Instance.p) order in
+    let cls = Array.map (fun i -> (Ccs.Instance.job inst i).Ccs.Instance.cls) order in
+    (* suffix sums for the area bound *)
+    let suffix = Array.make (n + 1) 0 in
+    for i = n - 1 downto 0 do
+      suffix.(i) <- suffix.(i + 1) + p.(i)
+    done;
+    (* warm start from the 7/3 algorithm *)
+    let start, _ = Ccs.Approx.Nonpreemptive.solve inst in
+    let best = ref (Ccs.Schedule.nonpreemptive_makespan inst start) in
+    let best_assignment = ref (Array.copy start) in
+    let loads = Array.make m 0 in
+    let class_count = Array.make m 0 in
+    let class_used = Array.init m (fun _ -> Hashtbl.create 4) in
+    let assignment = Array.make n (-1) in
+    let nodes = ref 0 in
+    let exception Limit in
+    let rec go idx current_max =
+      incr nodes;
+      if !nodes > node_limit then raise Limit;
+      if current_max < !best then begin
+        if idx = n then begin
+          best := current_max;
+          let out = Array.make n 0 in
+          for k = 0 to n - 1 do
+            out.(order.(k)) <- assignment.(k)
+          done;
+          best_assignment := out
+        end
+        else begin
+          (* area bound: remaining work must fit under best-1 *)
+          let slack = ref 0 in
+          for k = 0 to m - 1 do
+            slack := !slack + max 0 (!best - 1 - loads.(k))
+          done;
+          if !slack >= suffix.(idx) then begin
+            let tried_empty = ref false in
+            for k = 0 to m - 1 do
+              let empty = loads.(k) = 0 in
+              (* symmetry: identical empty machines — try only the first *)
+              if (not empty) || not !tried_empty then begin
+                if empty then tried_empty := true;
+                let known = Hashtbl.mem class_used.(k) cls.(idx) in
+                if (known || class_count.(k) < c) && loads.(k) + p.(idx) < !best then begin
+                  loads.(k) <- loads.(k) + p.(idx);
+                  if not known then begin
+                    Hashtbl.replace class_used.(k) cls.(idx) ();
+                    class_count.(k) <- class_count.(k) + 1
+                  end;
+                  assignment.(idx) <- k;
+                  go (idx + 1) (max current_max loads.(k));
+                  loads.(k) <- loads.(k) - p.(idx);
+                  if not known then begin
+                    Hashtbl.remove class_used.(k) cls.(idx);
+                    class_count.(k) <- class_count.(k) - 1
+                  end;
+                  assignment.(idx) <- -1
+                end
+              end
+            done
+          end
+        end
+      end
+    in
+    match go 0 0 with
+    | () -> Some (!best, !best_assignment)
+    | exception Limit -> None
+  end
+
+let brute_force inst =
+  let n = Ccs.Instance.n inst in
+  let m = min (Ccs.Instance.m inst) n in
+  if n > 10 then invalid_arg "Bnb.brute_force: too large";
+  let assignment = Array.make n 0 in
+  let best = ref None in
+  let rec go idx =
+    if idx = n then begin
+      match Ccs.Schedule.validate_nonpreemptive inst (Array.copy assignment) with
+      | Ok mk -> (
+          match !best with
+          | Some b when b <= mk -> ()
+          | _ -> best := Some mk)
+      | Error _ -> ()
+    end
+    else
+      for k = 0 to m - 1 do
+        assignment.(idx) <- k;
+        go (idx + 1)
+      done
+  in
+  go 0;
+  !best

@@ -1,0 +1,16 @@
+(** Exact branch & bound for non-preemptive CCS.
+
+    Ground truth for measured approximation ratios (experiments E3, E7).
+    Depth-first search assigning jobs in non-increasing size order with
+    load/area pruning, class-slot pruning and empty-machine symmetry
+    breaking. Exponential, intended for n up to ~16. *)
+
+(** [solve ?node_limit inst] returns the optimal makespan and an optimal
+    assignment, or [None] if the node limit was exhausted before the search
+    completed (the incumbent may then not be optimal) or the instance is
+    unschedulable. *)
+val solve : ?node_limit:int -> Ccs.Instance.t -> (int * Ccs.Schedule.nonpreemptive) option
+
+(** Exhaustive reference (every assignment, no pruning) for cross-checking
+    the pruned search on tiny instances. *)
+val brute_force : Ccs.Instance.t -> int option

@@ -1,0 +1,28 @@
+(** Exact optimum for preemptive CCS on small instances.
+
+    The paper does not need (or give) an exact preemptive solver; this one
+    exists as ground truth for experiments E2/E8, replacing lower-bound
+    proxies with true ratios on small instances. It goes beyond a bound by
+    producing an actual optimal schedule.
+
+    Method. By the classical preemptive open-shop theorem (Gonzalez-Sahni /
+    Birkhoff-von Neumann), an amount matrix [a_{j,i}] (job j runs a_{j,i}
+    time units on machine i) is realizable with no job parallel to itself
+    and makespan T iff every row sum equals p_j <= T and every column sum is
+    at most T. Preemptive CCS therefore reduces to the MILP
+
+      min T  s.t.  sum_i a_{j,i} = p_j,  sum_j a_{j,i} <= T,
+                   a_{j,i} <= p_j y_{c_j,i},  sum_u y_{u,i} <= c,  T >= pmax
+
+    with continuous a, binary y — solved exactly by {!Ilp} — followed by a
+    constructive Birkhoff decomposition: the matrix is padded to a doubly
+    T-stochastic square matrix whose positive entries always admit a perfect
+    matching (found with {!Flow}); each matching yields one time slice of
+    the schedule. The result passes {!Ccs.Schedule.validate_preemptive}. *)
+
+(** [None] if the instance is unschedulable, too large for the exact MILP,
+    or the node budget is exhausted. *)
+val solve : ?max_nodes:int -> Ccs.Instance.t -> (Rat.t * Ccs.Schedule.preemptive) option
+
+(** Just the optimal makespan. *)
+val opt : ?max_nodes:int -> Ccs.Instance.t -> Rat.t option

@@ -1,0 +1,79 @@
+module Q = Rat
+
+let build inst =
+  let nc = Ccs.Instance.num_classes inst in
+  (* No machine cap is valid here: extra machines always help a splittable
+     schedule (a single job may be sliced across all of them), so the model
+     uses the true m and the caller guards against large instances. *)
+  let m = Ccs.Instance.m inst in
+  let loads = Ccs.Instance.class_load inst in
+  (* variables: x_{u,i} = u*m+i (continuous), y_{u,i} = nc*m + u*m+i (binary),
+     T = 2*nc*m *)
+  let x u i = (u * m) + i in
+  let y u i = (nc * m) + (u * m) + i in
+  let tvar = 2 * nc * m in
+  let nvars = tvar + 1 in
+  let rows = ref [] in
+  for u = 0 to nc - 1 do
+    rows :=
+      Lp.constr (List.init m (fun i -> (x u i, Q.one))) Lp.Eq (Q.of_int loads.(u))
+      :: !rows
+  done;
+  for i = 0 to m - 1 do
+    rows :=
+      Lp.constr ((tvar, Q.minus_one) :: List.init nc (fun u -> (x u i, Q.one))) Lp.Le Q.zero
+      :: !rows;
+    rows :=
+      Lp.constr (List.init nc (fun u -> (y u i, Q.one))) Lp.Le (Q.of_int (Ccs.Instance.c inst))
+      :: !rows
+  done;
+  for u = 0 to nc - 1 do
+    for i = 0 to m - 1 do
+      rows :=
+        Lp.constr [ (x u i, Q.one); (y u i, Q.of_int (-loads.(u))) ] Lp.Le Q.zero :: !rows
+    done
+  done;
+  let upper = Array.make nvars None in
+  for u = 0 to nc - 1 do
+    for i = 0 to m - 1 do
+      upper.(y u i) <- Some Q.one;
+      upper.(x u i) <- Some (Q.of_int loads.(u))
+    done
+  done;
+  upper.(tvar) <- Some (Q.of_int (Ccs.Instance.total_load inst));
+  let objective = Array.make nvars Q.zero in
+  objective.(tvar) <- Q.one;
+  let lp = Lp.problem ~upper ~nvars ~objective (List.rev !rows) in
+  let integer = Array.make nvars false in
+  for u = 0 to nc - 1 do
+    for i = 0 to m - 1 do
+      integer.(y u i) <- true
+    done
+  done;
+  ({ Ilp.lp; integer }, m, x)
+
+let solve_schedule ?(max_nodes = 2_000_000) inst =
+  if not (Ccs.Instance.schedulable inst) then None
+  else if Ccs.Instance.m inst * Ccs.Instance.num_classes inst > 256 then
+    (* The MILP has 2*C*m variables; refuse sizes the exact simplex cannot
+       handle in reasonable time. *)
+    None
+  else begin
+    let problem, m, x = build inst in
+    match Ilp.solve ~max_nodes problem with
+    | Ilp.Optimal { objective; solution } ->
+        let nc = Ccs.Instance.num_classes inst in
+        let machines = ref [] in
+        for i = 0 to m - 1 do
+          let entries = ref [] in
+          for u = 0 to nc - 1 do
+            let v = solution.(x u i) in
+            if Q.sign v > 0 then entries := (u, v) :: !entries
+          done;
+          if !entries <> [] then machines := (i, List.rev !entries) :: !machines
+        done;
+        Some (objective, { Ccs.Schedule.blocks = []; explicit_machines = List.rev !machines })
+    | _ -> None
+  end
+
+let solve ?max_nodes inst = Option.map fst (solve_schedule ?max_nodes inst)

@@ -1,0 +1,17 @@
+(** Exact optimum for splittable CCS on small instances, via an exact MILP:
+
+    minimize T subject to, for every class u and machine i,
+    - sum_i x_{u,i} = P_u          (class fully scheduled)
+    - sum_u x_{u,i} <= T           (machine load)
+    - x_{u,i} <= P_u * y_{u,i}     (a class occupies a slot where it runs)
+    - sum_u y_{u,i} <= c           (class slots)
+    with x, T continuous and y binary. The LP relaxation of the y's is what
+    makes the problem NP-hard, and the branch & bound closes it exactly.
+
+    The optimum is also a lower bound for the preemptive optimum, which is
+    how experiment E2 measures preemptive ratios. Only for small C * m. *)
+
+val solve : ?max_nodes:int -> Ccs.Instance.t -> Rat.t option
+
+(** The optimum with the class-level schedule (class -> machine loads). *)
+val solve_schedule : ?max_nodes:int -> Ccs.Instance.t -> (Rat.t * Ccs.Schedule.splittable) option

@@ -1,0 +1,112 @@
+module Q = Rat
+
+type problem = { lp : Lp.problem; integer : bool array }
+
+type result =
+  | Optimal of { objective : Q.t; solution : Q.t array }
+  | Infeasible
+  | Unbounded
+  | Node_limit
+
+let all_integer lp = { lp; integer = Array.make lp.Lp.nvars true }
+
+let nodes = ref 0
+
+let last_node_count () = !nodes
+
+(* Most fractional integer-constrained variable, or None if integral. *)
+let pick_branch_var integer x =
+  let best = ref None in
+  Array.iteri
+    (fun j v ->
+      if integer.(j) && not (Q.is_integer v) then begin
+        let fl = Q.of_bigint (Q.floor v) in
+        let frac = Q.sub v fl in
+        (* distance from 1/2, smaller = more fractional *)
+        let score = Q.abs (Q.sub frac (Q.of_ints 1 2)) in
+        match !best with
+        | Some (_, s) when Q.(s <= score) -> ()
+        | _ -> best := Some (j, score)
+      end)
+    x;
+  match !best with Some (j, _) -> Some j | None -> None
+
+let solve ?(max_nodes = max_int) ?(feasibility = false) p =
+  nodes := 0;
+  let incumbent = ref None in
+  let limit_hit = ref false in
+  let exception Found_first of Q.t * Q.t array in
+  (* Depth-first search over bound tightenings. *)
+  let rec search lower upper =
+    if !limit_hit then ()
+    else begin
+      incr nodes;
+      if !nodes > max_nodes then limit_hit := true
+      else begin
+        let lp = { p.lp with Lp.lower; upper } in
+        match Lp.solve lp with
+        | Lp.Infeasible -> ()
+        | Lp.Unbounded ->
+            (* With integer variables an unbounded relaxation does not decide
+               the MILP, but every problem in this repository has a bounded
+               relaxation; treat as a hard error to surface modelling bugs. *)
+            failwith "Ilp.solve: unbounded relaxation"
+        | Lp.Optimal { objective; solution } -> (
+            (* bound pruning *)
+            let dominated =
+              match !incumbent with
+              | Some (best, _) -> Q.(objective >= best)
+              | None -> false
+            in
+            if not dominated then
+              match pick_branch_var p.integer solution with
+              | None ->
+                  if feasibility then raise (Found_first (objective, solution))
+                  else incumbent := Some (objective, solution)
+              | Some j ->
+                  let v = solution.(j) in
+                  let fl = Q.of_bigint (Q.floor v) in
+                  let ce = Q.of_bigint (Q.ceil v) in
+                  let down () =
+                    let upper' = Array.copy upper in
+                    (match upper'.(j) with
+                    | Some u when Q.(u <= fl) -> ()
+                    | _ -> upper'.(j) <- Some fl);
+                    search lower upper'
+                  and up () =
+                    let lower' = Array.copy lower in
+                    (match lower'.(j) with
+                    | Some l when Q.(l >= ce) -> ()
+                    | _ -> lower'.(j) <- Some ce);
+                    search lower' upper
+                  in
+                  (* explore the branch nearest the fractional value first *)
+                  let frac = Q.sub v fl in
+                  if Q.(frac <= Q.of_ints 1 2) then begin
+                    down ();
+                    up ()
+                  end
+                  else begin
+                    up ();
+                    down ()
+                  end)
+      end
+    end
+  in
+  match Lp.solve p.lp with
+  | Lp.Unbounded -> Unbounded
+  | Lp.Infeasible -> Infeasible
+  | Lp.Optimal _ -> (
+      match
+        (try
+           search (Array.copy p.lp.Lp.lower) (Array.copy p.lp.Lp.upper);
+           None
+         with Found_first (o, x) -> Some (o, x))
+      with
+      | Some (objective, solution) -> Optimal { objective; solution }
+      | None -> (
+          if !limit_hit then Node_limit
+          else
+            match !incumbent with
+            | Some (objective, solution) -> Optimal { objective; solution }
+            | None -> Infeasible))

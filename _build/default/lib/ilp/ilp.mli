@@ -1,0 +1,29 @@
+(** Exact mixed integer linear programming by branch & bound over the exact
+    rational simplex ({!Lp}).
+
+    This is the workhorse that decides the configuration ILPs of Section 4
+    exactly (feasibility mode) and computes exact optima for the baseline
+    solvers. There are no numeric tolerances anywhere: a variable is integral
+    iff its rational value has denominator 1. *)
+
+type problem = {
+  lp : Lp.problem;
+  integer : bool array;  (** [integer.(j)] forces variable [j] integral *)
+}
+
+type result =
+  | Optimal of { objective : Rat.t; solution : Rat.t array }
+  | Infeasible
+  | Unbounded
+  | Node_limit  (** search aborted after [max_nodes] B&B nodes *)
+
+(** [solve ?max_nodes ?feasibility p] minimizes. With [~feasibility:true] the
+    search stops at the first integral feasible point (use a zero objective
+    for pure feasibility questions, as the PTAS oracles do). *)
+val solve : ?max_nodes:int -> ?feasibility:bool -> problem -> result
+
+(** Statistics of the last [solve] call (B&B nodes, LP solves). *)
+val last_node_count : unit -> int
+
+(** All-integer convenience wrapper. *)
+val all_integer : Lp.problem -> problem

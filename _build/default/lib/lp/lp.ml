@@ -1,0 +1,321 @@
+module Q = Rat
+
+type cmp = Le | Ge | Eq
+
+type constr = { coeffs : (int * Q.t) list; cmp : cmp; rhs : Q.t }
+
+type problem = {
+  nvars : int;
+  objective : Q.t array;
+  constraints : constr list;
+  lower : Q.t option array;
+  upper : Q.t option array;
+}
+
+type result =
+  | Optimal of { objective : Q.t; solution : Q.t array }
+  | Infeasible
+  | Unbounded
+
+let problem ?lower ?upper ~nvars ~objective constraints =
+  let lower = match lower with Some l -> l | None -> Array.make nvars (Some Q.zero) in
+  let upper = match upper with Some u -> u | None -> Array.make nvars None in
+  if Array.length objective <> nvars || Array.length lower <> nvars || Array.length upper <> nvars
+  then invalid_arg "Lp.problem: arity mismatch";
+  { nvars; objective; constraints; lower; upper }
+
+let constr coeffs cmp rhs = { coeffs; cmp; rhs }
+
+let feasible p x =
+  if Array.length x <> p.nvars then false
+  else begin
+    let bounds_ok = ref true in
+    Array.iteri
+      (fun j v ->
+        (match p.lower.(j) with Some l when Q.(v < l) -> bounds_ok := false | _ -> ());
+        match p.upper.(j) with Some u when Q.(v > u) -> bounds_ok := false | _ -> ())
+      x;
+    !bounds_ok
+    && List.for_all
+         (fun c ->
+           let lhs =
+             List.fold_left (fun acc (j, a) -> Q.add acc (Q.mul a x.(j))) Q.zero c.coeffs
+           in
+           match c.cmp with
+           | Le -> Q.(lhs <= c.rhs)
+           | Ge -> Q.(lhs >= c.rhs)
+           | Eq -> Q.(lhs = c.rhs))
+         p.constraints
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Core tableau simplex on: min c x  s.t.  A x = b,  x >= 0,  b >= 0.
+   [n_real] marks the prefix of columns allowed to enter during phase 2
+   (artificial columns beyond it are frozen). *)
+
+type tableau = {
+  a : Q.t array array;  (* m x n *)
+  b : Q.t array;        (* m, kept >= 0 *)
+  cost : Q.t array;     (* reduced costs, length n *)
+  mutable obj : Q.t;    (* current objective value *)
+  basis : int array;    (* m: variable basic in each row *)
+}
+
+let pivot t row col =
+  let m = Array.length t.a and n = Array.length t.cost in
+  let piv = t.a.(row).(col) in
+  let arow = t.a.(row) in
+  if not (Q.equal piv Q.one) then begin
+    let inv = Q.inv piv in
+    for j = 0 to n - 1 do
+      arow.(j) <- Q.mul arow.(j) inv
+    done;
+    t.b.(row) <- Q.mul t.b.(row) inv
+  end;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if not (Q.is_zero f) then begin
+        let irow = t.a.(i) in
+        for j = 0 to n - 1 do
+          if not (Q.is_zero arow.(j)) then irow.(j) <- Q.sub irow.(j) (Q.mul f arow.(j))
+        done;
+        t.b.(i) <- Q.sub t.b.(i) (Q.mul f t.b.(row))
+      end
+    end
+  done;
+  let f = t.cost.(col) in
+  if not (Q.is_zero f) then begin
+    for j = 0 to n - 1 do
+      if not (Q.is_zero arow.(j)) then t.cost.(j) <- Q.sub t.cost.(j) (Q.mul f arow.(j))
+    done;
+    t.obj <- Q.sub t.obj (Q.mul f t.b.(row))
+  end;
+  t.basis.(row) <- col
+
+(* Dantzig rule for speed, switching to Bland's rule (which provably cannot
+   cycle) after a grace period proportional to the tableau size. *)
+let run_simplex t ~n_enter =
+  let m = Array.length t.a in
+  let iterations = ref 0 in
+  let bland_after = 50 * (m + n_enter) in
+  let rec loop () =
+    incr iterations;
+    let bland = !iterations > bland_after in
+    (* entering column *)
+    let enter = ref (-1) in
+    let best = ref Q.zero in
+    (try
+       for j = 0 to n_enter - 1 do
+         if Q.sign t.cost.(j) < 0 then
+           if bland then begin
+             enter := j;
+             raise Exit
+           end
+           else if Q.(t.cost.(j) < !best) then begin
+             best := t.cost.(j);
+             enter := j
+           end
+       done
+     with Exit -> ());
+    if !enter < 0 then `Optimal
+    else begin
+      let col = !enter in
+      (* ratio test; ties broken by smallest basis variable (Bland) *)
+      let row = ref (-1) in
+      let best_ratio = ref Q.zero in
+      for i = 0 to m - 1 do
+        if Q.sign t.a.(i).(col) > 0 then begin
+          let ratio = Q.div t.b.(i) t.a.(i).(col) in
+          if !row < 0 || Q.(ratio < !best_ratio)
+             || (Q.(ratio = !best_ratio) && t.basis.(i) < t.basis.(!row))
+          then begin
+            row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        pivot t !row col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Conversion from the user-facing form to standard form.
+
+   Variable j is translated to non-negative internal variables:
+   - finite lower bound l: x = l + x'                       (1 column)
+   - no lower bound:       x = x+ - x-                      (2 columns)
+   Finite upper bounds become <= rows on the internal variables. *)
+
+let solve p =
+  let nv = p.nvars in
+  (* column mapping: var j -> (positive column, optional negative column) *)
+  let col_of = Array.make nv (0, None) in
+  let next = ref 0 in
+  let shift = Array.make nv Q.zero in
+  for j = 0 to nv - 1 do
+    match p.lower.(j) with
+    | Some l ->
+        shift.(j) <- l;
+        col_of.(j) <- (!next, None);
+        incr next
+    | None ->
+        col_of.(j) <- (!next, Some (!next + 1));
+        next := !next + 2
+  done;
+  let n_struct = !next in
+  (* Gather rows: user constraints with shifted rhs, plus upper-bound rows. *)
+  let rows = ref [] in
+  let add_row coeffs cmp rhs = rows := (coeffs, cmp, rhs) :: !rows in
+  List.iter
+    (fun c ->
+      let rhs =
+        List.fold_left (fun acc (j, a) -> Q.sub acc (Q.mul a shift.(j))) c.rhs c.coeffs
+      in
+      let coeffs =
+        List.concat_map
+          (fun (j, a) ->
+            if Q.is_zero a then []
+            else
+              let pos, negc = col_of.(j) in
+              match negc with
+              | None -> [ (pos, a) ]
+              | Some ncol -> [ (pos, a); (ncol, Q.neg a) ])
+          c.coeffs
+      in
+      add_row coeffs c.cmp rhs)
+    p.constraints;
+  for j = 0 to nv - 1 do
+    match p.upper.(j) with
+    | None -> ()
+    | Some u -> (
+        (* An empty box (u < l) simply yields an unsatisfiable row, which
+           phase 1 reports as Infeasible. *)
+        let rhs = Q.sub u shift.(j) in
+        let pos, negc = col_of.(j) in
+        match negc with
+        | None -> add_row [ (pos, Q.one) ] Le rhs
+        | Some ncol -> add_row [ (pos, Q.one); (ncol, Q.minus_one) ] Le rhs)
+  done;
+  let rows = List.rev !rows in
+  let m = List.length rows in
+  (* Slack columns for Le/Ge rows. *)
+  let n_slack =
+    List.fold_left (fun acc (_, cmp, _) -> if cmp = Eq then acc else acc + 1) 0 rows
+  in
+  let n_total = n_struct + n_slack + m in
+  (* artificials: one per row *)
+  let a = Array.init m (fun _ -> Array.make n_total Q.zero) in
+  let b = Array.make m Q.zero in
+  let basis = Array.make m 0 in
+  let slack_cursor = ref n_struct in
+  List.iteri
+    (fun i (coeffs, cmp, rhs) ->
+      List.iter (fun (j, v) -> a.(i).(j) <- Q.add a.(i).(j) v) coeffs;
+      b.(i) <- rhs;
+      (match cmp with
+      | Le ->
+          a.(i).(!slack_cursor) <- Q.one;
+          incr slack_cursor
+      | Ge ->
+          a.(i).(!slack_cursor) <- Q.minus_one;
+          incr slack_cursor
+      | Eq -> ());
+      (* normalize rhs >= 0 *)
+      if Q.sign b.(i) < 0 then begin
+        for j = 0 to n_total - 1 do
+          a.(i).(j) <- Q.neg a.(i).(j)
+        done;
+        b.(i) <- Q.neg b.(i)
+      end;
+      (* artificial for this row *)
+      let art = n_struct + n_slack + i in
+      a.(i).(art) <- Q.one;
+      basis.(i) <- art)
+    rows;
+  (* ---- phase 1: minimize sum of artificials ---- *)
+  let cost = Array.make n_total Q.zero in
+  for i = 0 to m - 1 do
+    cost.(n_struct + n_slack + i) <- Q.one
+  done;
+  let t = { a; b; cost; obj = Q.zero; basis } in
+  (* price out the artificial basis *)
+  for i = 0 to m - 1 do
+    for j = 0 to n_total - 1 do
+      t.cost.(j) <- Q.sub t.cost.(j) t.a.(i).(j)
+    done;
+    t.obj <- Q.sub t.obj t.b.(i)
+  done;
+  (match run_simplex t ~n_enter:n_total with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  if Q.sign t.obj < 0 then Infeasible
+  else begin
+    (* Drive remaining artificials (basic at zero) out of the basis where
+       possible; rows where it is not possible are redundant. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= n_struct + n_slack then begin
+        let j = ref 0 in
+        let found = ref (-1) in
+        while !found < 0 && !j < n_struct + n_slack do
+          if not (Q.is_zero t.a.(i).(!j)) then found := !j;
+          incr j
+        done;
+        if !found >= 0 then pivot t i !found
+      end
+    done;
+    (* ---- phase 2 ---- *)
+    Array.fill t.cost 0 n_total Q.zero;
+    t.obj <- Q.zero;
+    for jv = 0 to nv - 1 do
+      let c = p.objective.(jv) in
+      if not (Q.is_zero c) then begin
+        let pos, negc = col_of.(jv) in
+        t.cost.(pos) <- Q.add t.cost.(pos) c;
+        (match negc with
+        | Some ncol -> t.cost.(ncol) <- Q.sub t.cost.(ncol) c
+        | None -> ());
+        (* constant from the shift *)
+        t.obj <- Q.sub t.obj (Q.mul c shift.(jv))
+      end
+    done;
+    (* price out the current basis *)
+    for i = 0 to m - 1 do
+      let bj = t.basis.(i) in
+      let f = t.cost.(bj) in
+      if not (Q.is_zero f) then begin
+        for j = 0 to n_total - 1 do
+          if not (Q.is_zero t.a.(i).(j)) then t.cost.(j) <- Q.sub t.cost.(j) (Q.mul f t.a.(i).(j))
+        done;
+        t.obj <- Q.sub t.obj (Q.mul f t.b.(i))
+      end
+    done;
+    match run_simplex t ~n_enter:(n_struct + n_slack) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let internal = Array.make n_total Q.zero in
+        for i = 0 to m - 1 do
+          internal.(t.basis.(i)) <- t.b.(i)
+        done;
+        let x = Array.make nv Q.zero in
+        for jv = 0 to nv - 1 do
+          let pos, negc = col_of.(jv) in
+          let v = match negc with
+            | None -> internal.(pos)
+            | Some ncol -> Q.sub internal.(pos) internal.(ncol)
+          in
+          x.(jv) <- Q.add v shift.(jv)
+        done;
+        (* t.obj tracks -(objective); reconstruct directly for clarity. *)
+        let value =
+          Array.to_list x
+          |> List.mapi (fun j v -> Q.mul p.objective.(j) v)
+          |> List.fold_left Q.add Q.zero
+        in
+        Optimal { objective = value; solution = x }
+  end

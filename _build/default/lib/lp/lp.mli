@@ -1,0 +1,45 @@
+(** Exact linear programming over rationals.
+
+    A dense two-phase primal simplex with exact {!Rat} arithmetic: no
+    tolerances, no cycling (Bland's rule kicks in after a Dantzig warm-up),
+    and answers that are exactly right — which is what the branch-and-bound
+    ILP solver and the PTAS feasibility oracles require. Built from scratch;
+    the sealed environment has no LP library. *)
+
+type cmp = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * Rat.t) list;  (** sparse row: (variable index, coefficient) *)
+  cmp : cmp;
+  rhs : Rat.t;
+}
+
+type problem = {
+  nvars : int;
+  objective : Rat.t array;  (** minimized; length [nvars] *)
+  constraints : constr list;
+  lower : Rat.t option array;  (** [None] = unbounded below *)
+  upper : Rat.t option array;  (** [None] = unbounded above *)
+}
+
+type result =
+  | Optimal of { objective : Rat.t; solution : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(** Convenience constructor with all variables in [0, +inf). *)
+val problem :
+  ?lower:Rat.t option array ->
+  ?upper:Rat.t option array ->
+  nvars:int ->
+  objective:Rat.t array ->
+  constr list ->
+  problem
+
+val constr : (int * Rat.t) list -> cmp -> Rat.t -> constr
+
+val solve : problem -> result
+
+(** Checks that [solution] satisfies every constraint and bound exactly.
+    Used by the test-suite and as a post-solve assertion. *)
+val feasible : problem -> Rat.t array -> bool

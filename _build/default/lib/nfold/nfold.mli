@@ -1,0 +1,93 @@
+(** N-fold integer linear programs (Section 2 of the paper).
+
+    An N-fold ILP has the block-structured constraint matrix
+
+    {v
+        [ A_1  A_2 ... A_N ]     r  "globally uniform" rows
+        [ B_1   0  ...  0  ]     s  "locally uniform" rows, block 1
+        [  0   B_2 ...  0  ]     s  rows, block 2
+        [  ...             ]
+    v}
+
+    and asks for [min w.x] subject to [Ax = rhs], [lower <= x <= upper],
+    [x] integral. Variables come in [n] bricks of [t] entries each.
+
+    Two solvers are provided:
+
+    - {!solve_ilp}: flatten the program and hand it to the exact
+      branch-and-bound MILP solver. Always exact; used as the default
+      backend and as the reference the augmentation solver is tested
+      against.
+    - the augmentation solver ({!find_feasible} / {!optimize}): the
+      Graver-walk algorithm behind Theorem 1 — repeatedly find the best
+      improving step [lambda * g] where every brick of [g] lies in the
+      kernel of its [B_i] with bounded infinity-norm, via a dynamic program
+      over bricks whose state is the running sum of [A_i g_i]. Its cost is
+      exponential in the block parameters — exactly the
+      [(r s Delta)^{O(r^2 s)}] of Theorem 1 — so it is practical only for
+      small blocks; [Too_large] is raised when the enumeration would
+      explode, and callers fall back to {!solve_ilp}. With [max_norm] at
+      least the Graver-basis norm bound of the instance the walk is exact;
+      the test-suite cross-checks it against {!solve_ilp}. *)
+
+type t = {
+  r : int;  (** globally uniform rows *)
+  s : int;  (** locally uniform rows per block *)
+  t : int;  (** brick size (variables per block) *)
+  n : int;  (** number of blocks *)
+  a : int array array array;  (** [a.(i)] is the r x t matrix A_{i+1} *)
+  b : int array array array;  (** [b.(i)] is the s x t matrix B_{i+1} *)
+  rhs_top : int array;  (** length r *)
+  rhs_block : int array array;  (** [rhs_block.(i)] has length s *)
+  lower : int array array;  (** finite bounds, n x t *)
+  upper : int array array;
+  weight : int array array;  (** objective, n x t *)
+}
+
+exception Invalid of string
+exception Too_large of string
+
+(** Checks all dimensions and [lower <= upper]; raises {!Invalid}. *)
+val validate : t -> unit
+
+(** Uniform-block convenience constructor: the same [a]/[b]/bounds/weight
+    for every block. *)
+val make_uniform :
+  n:int ->
+  a:int array array ->
+  b:int array array ->
+  rhs_top:int array ->
+  rhs_block:int array array ->
+  lower:int array ->
+  upper:int array ->
+  weight:int array ->
+  t
+
+(** Largest absolute entry of the constraint matrix (the paper's Delta). *)
+val delta : t -> int
+
+val objective : t -> int array array -> int
+
+(** Exact feasibility check of a candidate point. *)
+val check : t -> int array array -> bool
+
+(** Flattened exact solve. [`Solution (x, obj)] minimizes; with
+    [~feasibility:true] returns the first integral point found. *)
+val solve_ilp :
+  ?max_nodes:int ->
+  ?feasibility:bool ->
+  t ->
+  [ `Solution of int array array * int | `Infeasible | `Node_limit ]
+
+(** Augmentation-based phase 1: construct the auxiliary N-fold with slack
+    bricks, walk its objective to zero. [None] means no feasible point was
+    found within [max_norm] (exact if [max_norm] covers the Graver bound). *)
+val find_feasible : ?max_norm:int -> t -> int array array option
+
+(** Augmentation-based phase 2: improve a feasible point until no bounded
+    Graver step improves the objective. *)
+val optimize : ?max_norm:int -> t -> int array array -> int array array
+
+(** Convenience: phase 1 + phase 2 via augmentation. *)
+val solve_augmentation :
+  ?max_norm:int -> t -> [ `Solution of int array array * int | `Infeasible ]

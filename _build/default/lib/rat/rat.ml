@@ -1,0 +1,96 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let minus_one = { num = B.minus_one; den = B.one }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero
+  else if B.is_zero num then zero
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.equal g B.one then { num; den } else { num = B.div num g; den = B.div den g }
+  end
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints p q = make (B.of_int p) (B.of_int q)
+
+let num t = t.num
+let den t = t.den
+
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.equal t.den B.one
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b =
+  (* Cross-multiplication; denominators are positive. *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let inv t =
+  if B.is_zero t.num then raise Division_by_zero
+  else if B.sign t.num < 0 then { num = B.neg t.den; den = B.neg t.num }
+  else { num = t.den; den = t.num }
+
+let add a b =
+  if B.equal a.den b.den then make (B.add a.num b.num) a.den
+  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b =
+  if B.equal a.den b.den then make (B.sub a.num b.num) a.den
+  else make (B.sub (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t = B.fdiv t.num t.den
+let ceil t = B.cdiv t.num t.den
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let of_string s =
+  let s = String.trim s in
+  match String.index_opt s '/' with
+  | Some i ->
+      let p = B.of_string (String.sub s 0 i) in
+      let q = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make p q
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_bigint (B.of_string s)
+      | Some i ->
+          let int_part = String.sub s 0 i in
+          let frac = String.sub s (i + 1) (String.length s - i - 1) in
+          let negative = String.length int_part > 0 && int_part.[0] = '-' in
+          let whole = if int_part = "" || int_part = "-" then B.zero else B.of_string int_part in
+          let scale = B.pow (B.of_int 10) (String.length frac) in
+          let frac_v = if frac = "" then B.zero else B.of_string frac in
+          let mag = B.add (B.mul (B.abs whole) scale) frac_v in
+          make (if negative then B.neg mag else mag) scale)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

@@ -1,0 +1,67 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and
+    gcd(num, den) = 1, so structural equality coincides with numeric
+    equality. Used for fractional makespan guesses (the borders [P_u/k] of
+    Lemma 2), splittable/preemptive piece sizes, and the exact simplex. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] normalizes; raises [Division_by_zero] on zero denominator. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints p q] is the rational p/q. *)
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** Largest integer <= t. *)
+val floor : t -> Bigint.t
+
+(** Smallest integer >= t. *)
+val ceil : t -> Bigint.t
+
+val to_float : t -> float
+
+(** ["p/q"], or just ["p"] when integral. *)
+val to_string : t -> string
+
+(** Parses ["p"], ["p/q"] and decimal literals like ["3.25"]. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool

@@ -1,0 +1,82 @@
+module Q = Rat
+
+let round ~sizes ~machines ~allowed ~cap =
+  let nparts = Array.length sizes in
+  if Array.length allowed <> nparts then invalid_arg "Lst_rounding.round";
+  (* variable per allowed (part, machine) pair *)
+  let var_of = Hashtbl.create 64 in
+  let pairs = ref [] in
+  let nv = ref 0 in
+  Array.iteri
+    (fun j ms ->
+      List.iter
+        (fun i ->
+          if i < 0 || i >= machines then invalid_arg "Lst_rounding.round: bad machine";
+          Hashtbl.replace var_of (j, i) !nv;
+          pairs := (j, i) :: !pairs;
+          incr nv)
+        ms)
+    allowed;
+  let pairs = Array.of_list (List.rev !pairs) in
+  let rows = ref [] in
+  for j = 0 to nparts - 1 do
+    let coeffs = List.map (fun i -> (Hashtbl.find var_of (j, i), Q.one)) allowed.(j) in
+    rows := Lp.constr coeffs Lp.Eq Q.one :: !rows
+  done;
+  for i = 0 to machines - 1 do
+    let coeffs = ref [] in
+    Array.iteri
+      (fun v (j, i') -> if i' = i then coeffs := (v, sizes.(j)) :: !coeffs)
+      pairs;
+    if !coeffs <> [] then rows := Lp.constr !coeffs Lp.Le cap :: !rows
+  done;
+  let lp =
+    Lp.problem ~upper:(Array.make !nv (Some Q.one)) ~nvars:!nv
+      ~objective:(Array.make !nv Q.zero) (List.rev !rows)
+  in
+  match Lp.solve lp with
+  | Lp.Infeasible -> None
+  | Lp.Unbounded -> assert false
+  | Lp.Optimal { solution; _ } ->
+      let assignment = Array.make nparts (-1) in
+      let fractional = ref [] in
+      Array.iteri
+        (fun v (j, i) ->
+          let x = solution.(v) in
+          if Q.equal x Q.one then assignment.(j) <- i
+          else if Q.sign x > 0 then fractional := (j, i) :: !fractional)
+        pairs;
+      let frac_parts =
+        List.map fst !fractional |> List.sort_uniq compare
+        |> List.filter (fun j -> assignment.(j) < 0)
+      in
+      if frac_parts <> [] then begin
+        (* matching fractional parts into distinct machines via max-flow *)
+        let part_ids = Array.of_list frac_parts in
+        let nf = Array.length part_ids in
+        let index_of = Hashtbl.create 16 in
+        Array.iteri (fun k j -> Hashtbl.replace index_of j k) part_ids;
+        let source = nf + machines and sink = nf + machines + 1 in
+        let g = Flow.create (nf + machines + 2) in
+        Array.iteri (fun k _ -> ignore (Flow.add_edge g ~src:source ~dst:k ~cap:1)) part_ids;
+        let edge_list = ref [] in
+        List.iter
+          (fun (j, i) ->
+            match Hashtbl.find_opt index_of j with
+            | Some k -> edge_list := (k, i, Flow.add_edge g ~src:k ~dst:(nf + i) ~cap:1) :: !edge_list
+            | None -> ())
+          !fractional;
+        for i = 0 to machines - 1 do
+          ignore (Flow.add_edge g ~src:(nf + i) ~dst:sink ~cap:1)
+        done;
+        let v = Flow.max_flow g ~source ~sink in
+        if v <> nf then
+          failwith "Lst_rounding.round: no matching on the fractional support (solver bug)";
+        List.iter
+          (fun (k, i, e) -> if Flow.flow_on g e = 1 then assignment.(part_ids.(k)) <- i)
+          !edge_list
+      end;
+      Array.iteri
+        (fun j i -> if i < 0 then failwith (Printf.sprintf "Lst_rounding.round: part %d unassigned" j))
+        assignment;
+      Some assignment

@@ -1,0 +1,33 @@
+(** Constructive Lenstra-Shmoys-Tardos rounding.
+
+    Lemmas 8, 12 and 15 of the paper all invoke "a classical rounding result
+    by Lenstra et al.": a fractional assignment of parts to machines with
+    machine loads at most [cap] can be rounded to an integral one with loads
+    at most [cap + max part size]. This module makes the step executable:
+
+    + the assignment LP ([sum_i x_ji = 1] per part, [sum_j s_j x_ji <= cap]
+      per machine, [x_ji >= 0] only on allowed pairs) is solved by the exact
+      rational simplex, whose basic optimal solution is a vertex;
+    + at a vertex, the bipartite support graph of strictly fractional
+      entries is a pseudo-forest, so the fractional parts admit a matching
+      into distinct machines; the matching is found with the Dinic max-flow
+      rather than by structural case analysis — simpler and verified by the
+      flow value;
+    + integral entries are kept, each fractional part goes to its matched
+      machine: every machine gains at most one extra part.
+
+    The LST guarantee (loads <= cap + max_j s_j) follows and is asserted by
+    the test-suite over thousands of random feasible systems. *)
+
+(** [round ~sizes ~machines ~allowed ~cap] returns an integral assignment
+    (part index -> machine) with machine loads at most [cap + max size] and
+    every part on an allowed machine, or [None] when the fractional LP
+    itself is infeasible. [allowed.(j)] lists the machines part [j] may use.
+    Raises [Failure] if the vertex solution defies the LST structure (which
+    would be a solver bug, not an input property). *)
+val round :
+  sizes:Rat.t array ->
+  machines:int ->
+  allowed:int list array ->
+  cap:Rat.t ->
+  int array option

@@ -1,0 +1,38 @@
+(** Deterministic splitmix64 PRNG.
+
+    All randomness in generators, tests and benchmarks flows through this
+    module so results are bit-for-bit reproducible from a seed, independent
+    of the OCaml stdlib's Random implementation. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+
+(** Raw 64-bit step. *)
+val next_int64 : t -> int64
+
+(** Uniform non-negative 62-bit value. *)
+val next_int : t -> int
+
+(** [int t bound] is uniform in [0, bound); rejection-sampled, no modulo
+    bias. Raises [Invalid_argument] on non-positive bound. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [weighted t w] samples an index proportionally to [w.(i)] (weights must
+    be non-negative with positive sum). *)
+val weighted : t -> float array -> int
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Derive an independent child stream. *)
+val split : t -> t

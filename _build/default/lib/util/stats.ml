@@ -1,0 +1,34 @@
+(* Small descriptive-statistics helpers for the experiment harness. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left (+.) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let mu = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. mu) *. (x -. mu))) 0.0 a in
+    sqrt (acc /. float_of_int (n - 1))
+
+let minimum a =
+  if Array.length a = 0 then invalid_arg "Stats.minimum: empty";
+  Array.fold_left min a.(0) a
+
+let maximum a =
+  if Array.length a = 0 then invalid_arg "Stats.maximum: empty";
+  Array.fold_left max a.(0) a
+
+(* Nearest-rank percentile on a copy; [p] in [0, 100]. *)
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let median a = percentile a 50.0

@@ -1,0 +1,16 @@
+(** Descriptive statistics used by the experiment harness. All functions
+    raise [Invalid_argument] on empty input. *)
+
+val mean : float array -> float
+
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    samples. *)
+val stddev : float array -> float
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+(** Nearest-rank percentile, [p] in [0, 100]. *)
+val percentile : float array -> float -> float
+
+val median : float array -> float

@@ -1,0 +1,33 @@
+(* Plain-text table rendering for the benchmark harness.
+
+   Columns are sized to their widest cell; numbers are expected to arrive
+   pre-formatted. Kept dependency-free so benches and examples share it. *)
+
+type t = { header : string list; mutable rows : string list list }
+
+let create header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Tables.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep =
+    "|-"
+    ^ String.concat "-|-" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    ^ "-|"
+  in
+  String.concat "\n" (line t.header :: sep :: List.map line rows)
+
+let print t = print_endline (render t)

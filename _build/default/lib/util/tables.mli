@@ -1,0 +1,11 @@
+(** Minimal plain-text table rendering for benches and examples. *)
+
+type t
+
+val create : string list -> t
+
+(** Raises [Invalid_argument] if the row arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit

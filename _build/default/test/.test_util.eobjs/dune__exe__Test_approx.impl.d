@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Array Bigint Ccs Ccs_exact Ccs_util List QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ccs Ccs_util List QCheck QCheck_alcotest Rat String

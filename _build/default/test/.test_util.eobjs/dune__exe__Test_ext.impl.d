@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Array Ccs Ccs_exact Ccs_util List QCheck QCheck_alcotest

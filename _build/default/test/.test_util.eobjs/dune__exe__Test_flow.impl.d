@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Ccs_util Flow List QCheck QCheck_alcotest Queue

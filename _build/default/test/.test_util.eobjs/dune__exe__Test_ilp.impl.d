@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Ccs_util Fun Ilp List Lp QCheck QCheck_alcotest Rat

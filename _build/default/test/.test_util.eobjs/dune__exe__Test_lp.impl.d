@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Ccs_util Fun List Lp Lst_rounding QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_nfold.ml: Alcotest Array Ccs_util Nfold QCheck QCheck_alcotest

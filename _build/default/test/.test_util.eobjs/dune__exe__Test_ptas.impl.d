@@ -1,0 +1,1 @@
+test/test_ptas.ml: Alcotest Ccs Ccs_exact Ccs_util List Nfold Printf QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint List QCheck QCheck_alcotest Rat

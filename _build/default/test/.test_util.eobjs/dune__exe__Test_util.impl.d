@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ccs_util Fun List String

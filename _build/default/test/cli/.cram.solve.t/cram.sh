@@ -1,0 +1,11 @@
+  $ ccs_gen -n 10 -C 3 -m 3 -c 2 --seed 5 -o inst.ccs
+  $ head -3 inst.ccs
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo approx -q
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo exact -q
+  $ ccs_solve inst.ccs --variant splittable --algo approx -q
+  $ ccs_solve inst.ccs --variant preemptive --algo approx -q
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo ptas --epsilon 1 -q
+  $ printf 'ccs 1\nslots 2\njob 1 0\n' > bad.ccs
+  $ ccs_solve bad.ccs 2>&1
+  $ printf 'ccs 1\nmachines 1\nslots 1\njob 1 0\njob 1 1\n' > tight.ccs
+  $ ccs_solve tight.ccs --variant splittable --algo approx 2>&1

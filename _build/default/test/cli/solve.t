@@ -1,0 +1,44 @@
+CLI end-to-end: generate an instance, solve it with every variant/algorithm
+combination, and check the reported numbers are sane and deterministic.
+
+  $ ccs_gen -n 10 -C 3 -m 3 -c 2 --seed 5 -o inst.ccs
+  wrote inst.ccs (n=10, C=3)
+  $ head -3 inst.ccs
+  ccs 1
+  machines 3
+  slots 2
+
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo approx -q
+  instance: n=10 m=3 c=2 C=3
+  non-preemptive 7/3-approx: makespan 273 (guess T=212, <= 7/3 T)
+
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo exact -q
+  instance: n=10 m=3 c=2 C=3
+  non-preemptive exact optimum: 229
+
+  $ ccs_solve inst.ccs --variant splittable --algo approx -q
+  instance: n=10 m=3 c=2 C=3
+  splittable 2-approx: makespan 264 (guess T=635/3, <= 2T)
+
+  $ ccs_solve inst.ccs --variant preemptive --algo approx -q
+  instance: n=10 m=3 c=2 C=3
+  preemptive 2-approx: makespan 264 (guess T=635/3, <= 2T)
+
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo ptas --epsilon 1 -q
+  instance: n=10 m=3 c=2 C=3
+  non-preemptive PTAS (delta=1/1): makespan 371 (accepted T=212)
+
+A malformed instance is rejected with a useful message:
+
+  $ printf 'ccs 1\nslots 2\njob 1 0\n' > bad.ccs
+  $ ccs_solve bad.ccs 2>&1
+  error: missing 'machines' line
+  [1]
+
+An unschedulable instance (more classes than total slots) is refused:
+
+  $ printf 'ccs 1\nmachines 1\nslots 1\njob 1 0\njob 1 1\n' > tight.ccs
+  $ ccs_solve tight.ccs --variant splittable --algo approx 2>&1
+  instance: n=2 m=1 c=1 C=2
+  error: Approx.Splittable.solve: C > c*m, no schedule exists
+  [1]

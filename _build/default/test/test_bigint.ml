@@ -1,0 +1,243 @@
+(* Bigint is the foundation of all exact arithmetic in this repository, so it
+   gets the most aggressive cross-checking: every operation is compared
+   against native-int arithmetic on ranges where that is exact, and the
+   division/gcd identities are checked on values far beyond 63 bits. *)
+
+module B = Bigint
+
+let b = Alcotest.testable B.pp B.equal
+
+let check_b = Alcotest.check b
+
+(* -- deterministic unit tests -- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (B.to_int_exn (B.of_int n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 30; (1 lsl 30) - 1 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890";
+      "-999999999999999999999999999999999999999";
+      "1000000000000000000000000000000000000000000000000000001" ]
+
+let test_string_of_int_agree () =
+  List.iter
+    (fun n -> Alcotest.(check string) "repr" (string_of_int n) (B.to_string (B.of_int n)))
+    [ 0; 7; -7; 1000000000; -1000000000; max_int; min_int ]
+
+let test_pow () =
+  check_b "2^100" (B.of_string "1267650600228229401496703205376") (B.pow (B.of_int 2) 100);
+  check_b "10^30" (B.of_string "1000000000000000000000000000000") (B.pow (B.of_int 10) 30);
+  check_b "x^0" B.one (B.pow (B.of_int 12345) 0)
+
+let test_division_cases () =
+  let q, r = B.div_rem (B.of_int 7) (B.of_int 2) in
+  check_b "7/2" (B.of_int 3) q;
+  check_b "7%2" (B.of_int 1) r;
+  let q, r = B.div_rem (B.of_int (-7)) (B.of_int 2) in
+  check_b "-7/2" (B.of_int (-3)) q;
+  check_b "-7%2" (B.of_int (-1)) r;
+  let q, r = B.div_rem (B.of_int 7) (B.of_int (-2)) in
+  check_b "7/-2" (B.of_int (-3)) q;
+  check_b "7%-2" (B.of_int 1) r;
+  check_b "fdiv -7 2" (B.of_int (-4)) (B.fdiv (B.of_int (-7)) (B.of_int 2));
+  check_b "cdiv 7 2" (B.of_int 4) (B.cdiv (B.of_int 7) (B.of_int 2));
+  check_b "cdiv -7 2" (B.of_int (-3)) (B.cdiv (B.of_int (-7)) (B.of_int 2));
+  check_b "fdiv 7 2" (B.of_int 3) (B.fdiv (B.of_int 7) (B.of_int 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.div_rem B.one B.zero))
+
+let test_big_division () =
+  (* (10^40 + 7) / (10^20 - 3): exercises the multi-limb Knuth-D path. *)
+  let a = B.add (B.pow (B.of_int 10) 40) (B.of_int 7) in
+  let d = B.sub (B.pow (B.of_int 10) 20) (B.of_int 3) in
+  let q, r = B.div_rem a d in
+  check_b "reconstruct" a (B.add (B.mul q d) r);
+  Alcotest.(check bool) "0 <= r" true (B.compare r B.zero >= 0);
+  Alcotest.(check bool) "r < d" true (B.compare r d < 0)
+
+let test_gcd () =
+  check_b "gcd 12 18" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  check_b "gcd 0 0" B.zero (B.gcd B.zero B.zero);
+  check_b "gcd -12 18" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18));
+  check_b "gcd big" (B.pow (B.of_int 10) 25)
+    (B.gcd (B.pow (B.of_int 10) 25) (B.mul (B.pow (B.of_int 10) 25) (B.of_int 7)))
+
+let test_compare_order () =
+  let vals =
+    List.map B.of_string
+      [ "-100000000000000000000"; "-5"; "0"; "3"; "100000000000000000000" ]
+  in
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y ->
+          Alcotest.(check int)
+            (Printf.sprintf "cmp %d %d" i j)
+            (compare i j) (B.compare x y))
+        vals)
+    vals
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "1" 1 (B.bit_length B.one);
+  Alcotest.(check int) "2" 2 (B.bit_length (B.of_int 2));
+  Alcotest.(check int) "255" 8 (B.bit_length (B.of_int 255));
+  Alcotest.(check int) "2^100" 101 (B.bit_length (B.pow (B.of_int 2) 100))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-6)) "small" 12345.0 (B.to_float (B.of_int 12345));
+  Alcotest.(check (float 1e9)) "2^70" (2.0 ** 70.0) (B.to_float (B.pow (B.of_int 2) 70))
+
+(* -- property-based tests -- *)
+
+let mid_int = QCheck.int_range (-1_000_000_000) 1_000_000_000
+
+(* Arbitrary bigints built as products/sums of random ints so they exceed
+   63 bits routinely. *)
+let big_gen =
+  QCheck.Gen.(
+    map3
+      (fun a b c -> B.add (B.mul (B.of_int a) (B.of_int b)) (B.of_int c))
+      (int_range (-max_int) max_int) (int_range (-max_int) max_int)
+      (int_range (-max_int) max_int))
+
+let arb_big = QCheck.make ~print:B.to_string big_gen
+
+let prop_add_matches_native =
+  QCheck.Test.make ~name:"add matches native" ~count:1000
+    QCheck.(pair mid_int mid_int)
+    (fun (a, b) -> B.to_int_exn (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let prop_mul_matches_native =
+  QCheck.Test.make ~name:"mul matches native" ~count:1000
+    QCheck.(pair mid_int mid_int)
+    (fun (a, b) -> B.to_int_exn (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let prop_div_matches_native =
+  QCheck.Test.make ~name:"div_rem matches native" ~count:1000
+    QCheck.(pair mid_int mid_int)
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.div_rem (B.of_int a) (B.of_int b) in
+      B.to_int_exn q = a / b && B.to_int_exn r = a mod b)
+
+let prop_div_reconstruct =
+  QCheck.Test.make ~name:"a = q*b + r, |r|<|b|, sign r = sign a" ~count:2000
+    QCheck.(pair arb_big arb_big)
+    (fun (a, d) ->
+      QCheck.assume (not (B.is_zero d));
+      let q, r = B.div_rem a d in
+      B.equal a (B.add (B.mul q d) r)
+      && B.compare (B.abs r) (B.abs d) < 0
+      && (B.is_zero r || B.sign r = B.sign a))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string ∘ to_string = id" ~count:1000 arb_big (fun a ->
+      B.equal a (B.of_string (B.to_string a)))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutative + assoc with sub" ~count:1000
+    QCheck.(pair arb_big arb_big)
+    (fun (a, b) ->
+      B.equal (B.add a b) (B.add b a) && B.equal (B.sub (B.add a b) b) a)
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:1000
+    QCheck.(triple arb_big arb_big arb_big)
+    (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both and is maximal-ish" ~count:500
+    QCheck.(pair arb_big arb_big)
+    (fun (a, b) ->
+      QCheck.assume (not (B.is_zero a) || not (B.is_zero b));
+      let g = B.gcd a b in
+      B.sign g > 0 && B.is_zero (B.rem a g) && B.is_zero (B.rem b g))
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare antisymmetric, consistent with sub" ~count:1000
+    QCheck.(pair arb_big arb_big)
+    (fun (a, b) ->
+      let c = B.compare a b in
+      c = -B.compare b a && c = B.sign (B.sub a b))
+
+let prop_fdiv_cdiv =
+  QCheck.Test.make ~name:"fdiv <= div_rem q <= cdiv" ~count:1000
+    QCheck.(pair arb_big arb_big)
+    (fun (a, d) ->
+      QCheck.assume (not (B.is_zero d));
+      let f = B.fdiv a d and c = B.cdiv a d in
+      (* f*d <= a <= c*d when d > 0; reversed otherwise. *)
+      let lo, hi = if B.sign d > 0 then (B.mul f d, B.mul c d) else (B.mul c d, B.mul f d) in
+      B.compare lo a <= 0 && B.compare a hi <= 0
+      && B.compare (B.sub c f) B.one <= 0)
+
+let prop_shift_scale =
+  QCheck.Test.make ~name:"pow 2 k = repeated doubling" ~count:200
+    (QCheck.int_range 0 200)
+    (fun k ->
+      let rec dbl acc i = if i = 0 then acc else dbl (B.add acc acc) (i - 1) in
+      B.equal (B.pow (B.of_int 2) k) (dbl B.one k))
+
+(* numbers big enough to cross the Karatsuba threshold (32 limbs ~ 960
+   bits): products of ~2000-bit values *)
+let huge_gen =
+  QCheck.Gen.(
+    map2
+      (fun seed bits ->
+        let rng = Ccs_util.Prng.create seed in
+        let rec build acc remaining =
+          if remaining <= 0 then acc
+          else
+            build
+              (B.add (B.mul acc (B.of_int (1 lsl 30)))
+                 (B.of_int (Ccs_util.Prng.int rng (1 lsl 30))))
+              (remaining - 30)
+        in
+        build B.one bits)
+      (int_range 0 1_000_000) (int_range 1200 2400))
+
+let arb_huge = QCheck.make ~print:(fun b -> string_of_int (B.bit_length b)) huge_gen
+
+let prop_karatsuba_consistent =
+  (* algebraic cross-checks exercising the Karatsuba path: (a*b) / b = a,
+     (a*b) mod b = 0, and distributivity at ~2000-bit scale *)
+  QCheck.Test.make ~name:"huge multiplication: division and distributivity laws" ~count:60
+    QCheck.(pair arb_huge arb_huge)
+    (fun (a, b) ->
+      let p = B.mul a b in
+      let q, r = B.div_rem p b in
+      B.equal q a && B.is_zero r
+      && B.equal (B.mul (B.add a b) b) (B.add p (B.mul b b)))
+
+let prop_karatsuba_string_roundtrip =
+  QCheck.Test.make ~name:"huge values: string roundtrip" ~count:20 arb_huge (fun a ->
+      B.equal a (B.of_string (B.to_string a)))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_matches_native; prop_mul_matches_native; prop_div_matches_native;
+      prop_div_reconstruct; prop_string_roundtrip; prop_add_commutes;
+      prop_mul_distributes; prop_gcd_divides; prop_compare_total_order;
+      prop_fdiv_cdiv; prop_shift_scale; prop_karatsuba_consistent;
+      prop_karatsuba_string_roundtrip ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ( "unit",
+        [ Alcotest.test_case "of_int/to_int roundtrip" `Quick test_of_to_int;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "to_string agrees with string_of_int" `Quick test_string_of_int_agree;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "division sign conventions" `Quick test_division_cases;
+          Alcotest.test_case "multi-limb division" `Quick test_big_division;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "total order" `Quick test_compare_order;
+          Alcotest.test_case "bit_length" `Quick test_bit_length;
+          Alcotest.test_case "to_float" `Quick test_to_float ] );
+      ("properties", qsuite) ]

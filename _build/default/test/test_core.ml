@@ -1,0 +1,266 @@
+(* Core model: instances, schedules + validators, bounds, generators, IO. *)
+
+module I = Ccs.Instance
+module S = Ccs.Schedule
+module Q = Rat
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let mk ?(machines = 3) ?(slots = 2) jobs = I.make ~machines ~slots jobs
+
+let test_instance_basics () =
+  let inst = mk [ (3, 0); (5, 1); (2, 0); (7, 4) ] in
+  Alcotest.(check int) "n" 4 (I.n inst);
+  Alcotest.(check int) "classes dense" 3 (I.num_classes inst);
+  Alcotest.(check int) "total" 17 (I.total_load inst);
+  Alcotest.(check int) "pmax" 7 (I.pmax inst);
+  Alcotest.(check (array int)) "class loads" [| 5; 5; 7 |] (I.class_load inst);
+  Alcotest.(check bool) "schedulable" true (I.schedulable inst)
+
+let test_instance_validation () =
+  Alcotest.check_raises "no jobs" (Invalid_argument "Instance.make: no jobs") (fun () ->
+      ignore (mk []));
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Instance.make: processing times must be positive") (fun () ->
+      ignore (mk [ (0, 1) ]))
+
+let test_slots_clamped () =
+  let inst = mk ~slots:100 [ (1, 0); (1, 1) ] in
+  Alcotest.(check int) "c clamped to C" 2 (I.c inst)
+
+let test_unschedulable () =
+  (* 5 classes, 1 machine, 2 slots. *)
+  let inst = I.make ~machines:1 ~slots:2 (List.init 5 (fun i -> (1, i))) in
+  Alcotest.(check bool) "unschedulable" false (I.schedulable inst)
+
+let test_validate_nonpreemptive () =
+  let inst = mk ~machines:2 ~slots:1 [ (3, 0); (4, 1); (2, 0) ] in
+  (match S.validate_nonpreemptive inst [| 0; 1; 0 |] with
+  | Ok mk -> Alcotest.(check int) "makespan" 5 mk
+  | Error e -> Alcotest.fail e);
+  (match S.validate_nonpreemptive inst [| 0; 0; 0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "class violation not caught");
+  match S.validate_nonpreemptive inst [| 0; 5; 0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad machine not caught"
+
+let test_validate_splittable () =
+  let inst = mk ~machines:3 ~slots:1 [ (6, 0); (3, 1) ] in
+  let sched =
+    {
+      S.blocks = [ { S.cls = 0; m_start = 0; m_count = 2; per_machine = Q.of_int 3 } ];
+      explicit_machines = [ (2, [ (1, Q.of_int 3) ]) ];
+    }
+  in
+  (match S.validate_splittable inst sched with
+  | Ok mk -> Alcotest.check q "makespan" (Q.of_int 3) mk
+  | Error e -> Alcotest.fail e);
+  (* under-scheduled class *)
+  let bad = { sched with S.explicit_machines = [ (2, [ (1, Q.of_int 2) ]) ] } in
+  (match S.validate_splittable inst bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing load not caught");
+  (* slot violation: both classes on machine 2 with c = 1 *)
+  let bad2 =
+    {
+      S.blocks = [ { S.cls = 0; m_start = 2; m_count = 1; per_machine = Q.of_int 6 } ];
+      explicit_machines = [ (2, [ (1, Q.of_int 3) ]) ];
+    }
+  in
+  (match S.validate_splittable inst bad2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "slot violation not caught");
+  (* overlapping blocks *)
+  let bad3 =
+    {
+      S.blocks =
+        [ { S.cls = 0; m_start = 0; m_count = 2; per_machine = Q.of_int 3 };
+          { S.cls = 1; m_start = 1; m_count = 1; per_machine = Q.of_int 3 } ];
+      explicit_machines = [];
+    }
+  in
+  match S.validate_splittable inst bad3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overlap not caught"
+
+let test_to_job_pieces () =
+  let inst = mk ~machines:3 ~slots:1 [ (6, 0); (3, 0) ] in
+  (* class 0 spread as 4 + 5 over two machines *)
+  let sched =
+    {
+      S.blocks = [];
+      explicit_machines = [ (0, [ (0, Q.of_int 4) ]); (1, [ (0, Q.of_int 5) ]) ];
+    }
+  in
+  let pieces = S.to_job_pieces inst sched in
+  (* per-job totals *)
+  let totals = Array.make 2 Q.zero in
+  List.iter
+    (fun (_, pl) -> List.iter (fun pc -> totals.(pc.S.job) <- Q.add totals.(pc.S.job) pc.S.size) pl)
+    pieces;
+  Alcotest.check q "job 0 total" (Q.of_int 6) totals.(0);
+  Alcotest.check q "job 1 total" (Q.of_int 3) totals.(1)
+
+let test_validate_preemptive () =
+  let inst = mk ~machines:2 ~slots:2 [ (4, 0); (3, 1) ] in
+  let ok : S.preemptive =
+    [| [ { S.pjob = 0; start = Q.zero; len = Q.of_int 4 } ];
+       [ { S.pjob = 1; start = Q.zero; len = Q.of_int 3 } ] |]
+  in
+  (match S.validate_preemptive inst ok with
+  | Ok mk -> Alcotest.check q "makespan" (Q.of_int 4) mk
+  | Error e -> Alcotest.fail e);
+  (* same job in parallel on two machines *)
+  let bad : S.preemptive =
+    [| [ { S.pjob = 0; start = Q.zero; len = Q.of_int 2 };
+         { S.pjob = 1; start = Q.of_int 2; len = Q.of_int 3 } ];
+       [ { S.pjob = 0; start = Q.of_int 1; len = Q.of_int 2 } ] |]
+  in
+  (match S.validate_preemptive inst bad with
+  | Error msg ->
+      Alcotest.(check bool) "parallel detected" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "self-parallelism not caught");
+  (* machine-level overlap *)
+  let bad2 : S.preemptive =
+    [| [ { S.pjob = 0; start = Q.zero; len = Q.of_int 4 };
+         { S.pjob = 1; start = Q.of_int 3; len = Q.of_int 3 } ] |]
+  in
+  match S.validate_preemptive inst bad2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "machine overlap not caught"
+
+let test_bounds () =
+  let inst = mk ~machines:4 ~slots:2 [ (8, 0); (4, 1); (4, 2) ] in
+  Alcotest.check q "lb split" (Q.of_int 4) (Ccs.Bounds.lb_splittable inst);
+  Alcotest.check q "lb pre" (Q.of_int 8) (Ccs.Bounds.lb_preemptive inst);
+  Alcotest.(check int) "ub integral" 24 (Ccs.Bounds.ub_integral inst)
+
+let test_io_roundtrip () =
+  let inst = mk ~machines:7 ~slots:2 [ (3, 0); (5, 1); (2, 0) ] in
+  match Ccs.Io.of_string (Ccs.Io.to_string inst) with
+  | Ok inst' ->
+      Alcotest.(check int) "n" (I.n inst) (I.n inst');
+      Alcotest.(check int) "m" (I.m inst) (I.m inst');
+      Alcotest.(check int) "c" (I.c inst) (I.c inst');
+      Alcotest.(check (array int)) "loads" (I.class_load inst) (I.class_load inst')
+  | Error e -> Alcotest.fail e
+
+let test_io_errors () =
+  (match Ccs.Io.of_string "garbage" with Error _ -> () | Ok _ -> Alcotest.fail "garbage accepted");
+  (match Ccs.Io.of_string "ccs 1\nslots 2\njob 1 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing machines accepted");
+  match Ccs.Io.of_string "ccs 1\nmachines 2\nslots 2\n# comment\njob 3 1\n" with
+  | Ok inst -> Alcotest.(check int) "comment skipped" 1 (I.n inst)
+  | Error e -> Alcotest.fail e
+
+let prop_generator_valid =
+  QCheck.Test.make ~name:"generated instances are well-formed" ~count:200
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let spec =
+        {
+          Ccs.Generator.n = 1 + (seed mod 60);
+          classes = 1 + (seed mod 9);
+          machines = 1 + (seed mod 7);
+          slots = 1 + (seed mod 4);
+          p_lo = 1;
+          p_hi = 50;
+          family =
+            (match seed mod 4 with
+            | 0 -> Ccs.Generator.Uniform
+            | 1 -> Zipf
+            | 2 -> Heavy_classes
+            | _ -> Large_jobs);
+        }
+      in
+      let inst = Ccs.Generator.generate ~seed spec in
+      I.n inst = spec.Ccs.Generator.n
+      && I.num_classes inst <= spec.Ccs.Generator.classes
+      && I.pmax inst <= 50
+      && Array.for_all (fun l -> l > 0) (I.class_load inst))
+
+let prop_io_fuzz =
+  (* the parser must never raise, only return Error, on arbitrary input *)
+  QCheck.Test.make ~name:"Io.of_string total on garbage" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 60))
+    (fun s ->
+      match Ccs.Io.of_string s with Ok _ | Error _ -> true)
+
+let prop_io_roundtrip_random =
+  QCheck.Test.make ~name:"Io roundtrip on random instances" ~count:200
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let spec =
+        { Ccs.Generator.default with Ccs.Generator.n = 1 + (seed mod 30); classes = 1 + (seed mod 6) }
+      in
+      let inst = Ccs.Generator.generate ~seed spec in
+      match Ccs.Io.of_string (Ccs.Io.to_string inst) with
+      | Ok inst' ->
+          I.n inst = I.n inst' && I.m inst = I.m inst'
+          && I.class_load inst = I.class_load inst'
+      | Error _ -> false)
+
+let prop_decode_preserves_jobs =
+  (* class-level schedules decode to job pieces whose per-job totals are the
+     processing times — the canonical cutting of Schedule.to_job_pieces *)
+  QCheck.Test.make ~name:"to_job_pieces preserves every job" ~count:150
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let machines = Ccs_util.Prng.int_in rng 1 5 in
+      let slots = Ccs_util.Prng.int_in rng 1 3 in
+      let classes = max 1 (min (Ccs_util.Prng.int_in rng 1 6) (slots * machines)) in
+      let n = Ccs_util.Prng.int_in rng classes 20 in
+      let jobs = List.init n (fun i ->
+        (Ccs_util.Prng.int_in rng 1 30, if i < classes then i else Ccs_util.Prng.int rng classes)) in
+      let inst = I.make ~machines ~slots jobs in
+      let sched, _ = Ccs.Approx.Splittable.solve inst in
+      let pieces = S.to_job_pieces inst sched in
+      let totals = Array.make (I.n inst) Q.zero in
+      List.iter
+        (fun (_, pl) ->
+          List.iter (fun pc -> totals.(pc.S.job) <- Q.add totals.(pc.S.job) pc.S.size) pl)
+        pieces;
+      let ok = ref true in
+      Array.iteri
+        (fun j total ->
+          if not (Q.equal total (Q.of_int (I.job inst j).I.p)) then ok := false)
+        totals;
+      !ok)
+
+let prop_round_robin_lemma3 =
+  QCheck.Test.make ~name:"Lemma 3: round robin <= avg + max" ~count:300
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let m = Ccs_util.Prng.int_in rng 1 8 in
+      let k = Ccs_util.Prng.int_in rng 1 40 in
+      let sizes = List.init k (fun _ -> Q.of_int (Ccs_util.Prng.int_in rng 1 100)) in
+      let sorted = List.sort (fun a b -> Q.compare b a) sizes in
+      let machines = Ccs.Approx.Round_robin.assign ~machines:m sorted in
+      let makespan =
+        Array.fold_left
+          (fun acc items -> Q.max acc (List.fold_left Q.add Q.zero items))
+          Q.zero machines
+      in
+      Q.(makespan <= Ccs.Approx.Round_robin.lemma3_bound ~machines:m sizes))
+
+let () =
+  Alcotest.run "core"
+    [ ( "instance",
+        [ Alcotest.test_case "basics" `Quick test_instance_basics;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "slots clamped" `Quick test_slots_clamped;
+          Alcotest.test_case "unschedulable detection" `Quick test_unschedulable ] );
+      ( "schedule",
+        [ Alcotest.test_case "non-preemptive validator" `Quick test_validate_nonpreemptive;
+          Alcotest.test_case "splittable validator" `Quick test_validate_splittable;
+          Alcotest.test_case "job-piece decoding" `Quick test_to_job_pieces;
+          Alcotest.test_case "preemptive validator" `Quick test_validate_preemptive ] );
+      ("bounds", [ Alcotest.test_case "values" `Quick test_bounds ]);
+      ( "io",
+        [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_io_errors ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generator_valid; prop_round_robin_lemma3; prop_io_fuzz;
+            prop_io_roundtrip_random; prop_decode_preserves_jobs ] ) ]

@@ -1,0 +1,145 @@
+(* Max-flow correctness: hand-checked networks, flow conservation, and
+   agreement with a brute-force Ford-Fulkerson reference on random graphs. *)
+
+let test_single_edge () =
+  let g = Flow.create 2 in
+  let e = Flow.add_edge g ~src:0 ~dst:1 ~cap:7 in
+  Alcotest.(check int) "value" 7 (Flow.max_flow g ~source:0 ~sink:1);
+  Alcotest.(check int) "edge flow" 7 (Flow.flow_on g e)
+
+let test_classic_network () =
+  (* CLRS figure: max flow 23. *)
+  let g = Flow.create 6 in
+  let add (s, d, c) = ignore (Flow.add_edge g ~src:s ~dst:d ~cap:c) in
+  List.iter add
+    [ (0, 1, 16); (0, 2, 13); (1, 2, 10); (2, 1, 4); (1, 3, 12); (3, 2, 9);
+      (2, 4, 14); (4, 3, 7); (3, 5, 20); (4, 5, 4) ];
+  Alcotest.(check int) "value" 23 (Flow.max_flow g ~source:0 ~sink:5)
+
+let test_disconnected () =
+  let g = Flow.create 4 in
+  ignore (Flow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Flow.add_edge g ~src:2 ~dst:3 ~cap:5);
+  Alcotest.(check int) "no path" 0 (Flow.max_flow g ~source:0 ~sink:3)
+
+let test_parallel_edges () =
+  let g = Flow.create 2 in
+  ignore (Flow.add_edge g ~src:0 ~dst:1 ~cap:3);
+  ignore (Flow.add_edge g ~src:0 ~dst:1 ~cap:4);
+  Alcotest.(check int) "sums" 7 (Flow.max_flow g ~source:0 ~sink:1)
+
+let test_bipartite_matching () =
+  (* 3x3 bipartite, perfect matching exists. *)
+  let g = Flow.create 8 in
+  let src = 6 and sink = 7 in
+  for i = 0 to 2 do
+    ignore (Flow.add_edge g ~src ~dst:i ~cap:1);
+    ignore (Flow.add_edge g ~src:(3 + i) ~dst:sink ~cap:1)
+  done;
+  List.iter
+    (fun (a, b) -> ignore (Flow.add_edge g ~src:a ~dst:(3 + b) ~cap:1))
+    [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 0); (2, 2) ];
+  Alcotest.(check int) "matching size" 3 (Flow.max_flow g ~source:src ~sink)
+
+let test_min_cut () =
+  let g = Flow.create 4 in
+  ignore (Flow.add_edge g ~src:0 ~dst:1 ~cap:1);
+  ignore (Flow.add_edge g ~src:1 ~dst:2 ~cap:100);
+  ignore (Flow.add_edge g ~src:2 ~dst:3 ~cap:100);
+  let v = Flow.max_flow g ~source:0 ~sink:3 in
+  Alcotest.(check int) "bottleneck" 1 v;
+  let cut = Flow.min_cut g ~source:0 in
+  Alcotest.(check bool) "source side" true cut.(0);
+  Alcotest.(check bool) "sink side" false cut.(3)
+
+(* Reference: naive Ford-Fulkerson on an adjacency-matrix residual graph. *)
+let reference_max_flow n edges source sink =
+  let cap = Array.make_matrix n n 0 in
+  List.iter (fun (s, d, c) -> cap.(s).(d) <- cap.(s).(d) + c) edges;
+  let total = ref 0 in
+  let rec augment () =
+    let parent = Array.make n (-1) in
+    parent.(source) <- source;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      for w = 0 to n - 1 do
+        if parent.(w) < 0 && cap.(v).(w) > 0 then begin
+          parent.(w) <- v;
+          Queue.add w queue
+        end
+      done
+    done;
+    if parent.(sink) >= 0 then begin
+      let rec bottleneck v acc = if v = source then acc else bottleneck parent.(v) (min acc cap.(parent.(v)).(v)) in
+      let b = bottleneck sink max_int in
+      let rec apply v =
+        if v <> source then begin
+          cap.(parent.(v)).(v) <- cap.(parent.(v)).(v) - b;
+          cap.(v).(parent.(v)) <- cap.(v).(parent.(v)) + b;
+          apply parent.(v)
+        end
+      in
+      apply sink;
+      total := !total + b;
+      augment ()
+    end
+  in
+  augment ();
+  !total
+
+let prop_matches_reference =
+  QCheck.Test.make ~name:"dinic = ford-fulkerson on random graphs" ~count:200
+    QCheck.(pair (int_range 0 1000) (int_range 2 9))
+    (fun (seed, n) ->
+      let rng = Ccs_util.Prng.create seed in
+      let edges = ref [] in
+      let count = Ccs_util.Prng.int_in rng 1 (n * (n - 1)) in
+      for _ = 1 to count do
+        let s = Ccs_util.Prng.int rng n and d = Ccs_util.Prng.int rng n in
+        if s <> d then edges := (s, d, Ccs_util.Prng.int_in rng 0 20) :: !edges
+      done;
+      let g = Flow.create n in
+      List.iter (fun (s, d, c) -> ignore (Flow.add_edge g ~src:s ~dst:d ~cap:c)) !edges;
+      Flow.max_flow g ~source:0 ~sink:(n - 1)
+      = reference_max_flow n !edges 0 (n - 1))
+
+let prop_conservation =
+  QCheck.Test.make ~name:"flow conservation at internal nodes" ~count:200
+    QCheck.(pair (int_range 0 1000) (int_range 3 8))
+    (fun (seed, n) ->
+      let rng = Ccs_util.Prng.create seed in
+      let edges = ref [] in
+      for _ = 1 to 3 * n do
+        let s = Ccs_util.Prng.int rng n and d = Ccs_util.Prng.int rng n in
+        if s <> d then edges := (s, d, Ccs_util.Prng.int_in rng 1 10) :: !edges
+      done;
+      let g = Flow.create n in
+      let ids = List.map (fun (s, d, c) -> (s, d, Flow.add_edge g ~src:s ~dst:d ~cap:c)) !edges in
+      ignore (Flow.max_flow g ~source:0 ~sink:(n - 1));
+      let net = Array.make n 0 in
+      List.iter
+        (fun (s, d, id) ->
+          let f = Flow.flow_on g id in
+          if f < 0 then failwith "negative flow";
+          net.(s) <- net.(s) - f;
+          net.(d) <- net.(d) + f)
+        ids;
+      let ok = ref true in
+      for v = 1 to n - 2 do
+        if net.(v) <> 0 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "flow"
+    [ ( "unit",
+        [ Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "classic CLRS network" `Quick test_classic_network;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+          Alcotest.test_case "bipartite matching" `Quick test_bipartite_matching;
+          Alcotest.test_case "min cut" `Quick test_min_cut ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_matches_reference; prop_conservation ] ) ]

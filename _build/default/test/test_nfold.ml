@@ -1,0 +1,118 @@
+(* N-fold machinery: structural validation, the flattened MILP backend on
+   hand-built programs, and cross-checking the augmentation (Graver-walk)
+   solver against the MILP backend on random small N-folds. *)
+
+let simple_program () =
+  (* Two blocks with vars (x_i, y_i); global row x1+y1+x2+y2 = 6, per-block
+     row x_i - y_i = 0, bounds [0,5], minimize x1 + x2. Since x_i = y_i the
+     global row forces x1 + x2 = 3, so the optimum objective is 3. *)
+  Nfold.make_uniform ~n:2
+    ~a:[| [| 1; 1 |] |]
+    ~b:[| [| 1; -1 |] |]
+    ~rhs_top:[| 6 |]
+    ~rhs_block:[| [| 0 |]; [| 0 |] |]
+    ~lower:[| 0; 0 |] ~upper:[| 5; 5 |]
+    ~weight:[| 1; 0 |]
+
+let test_validate_ok () = Nfold.validate (simple_program ())
+
+let test_validate_catches () =
+  let p = simple_program () in
+  Alcotest.check_raises "bad rhs length" (Nfold.Invalid "rhs_top: wrong length")
+    (fun () -> Nfold.validate { p with Nfold.rhs_top = [| 1; 2 |] })
+
+let test_ilp_backend () =
+  match Nfold.solve_ilp (simple_program ()) with
+  | `Solution (x, obj) ->
+      Alcotest.(check int) "objective" 3 obj;
+      Alcotest.(check bool) "feasible" true (Nfold.check (simple_program ()) x);
+      Alcotest.(check int) "x1 = y1" x.(0).(1) x.(0).(0)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_infeasible () =
+  let p =
+    Nfold.make_uniform ~n:1
+      ~a:[| [| 1 |] |]
+      ~b:[| [| 1 |] |]
+      ~rhs_top:[| 3 |]
+      ~rhs_block:[| [| 4 |] |]
+      ~lower:[| 0 |] ~upper:[| 10 |] ~weight:[| 0 |]
+  in
+  (match Nfold.solve_ilp p with
+  | `Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible (conflicting rows)");
+  match Nfold.solve_augmentation ~max_norm:3 p with
+  | `Infeasible -> ()
+  | _ -> Alcotest.fail "augmentation should agree"
+
+let test_augmentation_simple () =
+  let p = simple_program () in
+  match Nfold.solve_augmentation ~max_norm:2 p with
+  | `Solution (x, obj) ->
+      Alcotest.(check bool) "feasible" true (Nfold.check p x);
+      Alcotest.(check int) "objective matches ilp" 3 obj
+  | `Infeasible -> Alcotest.fail "expected solution"
+
+let test_phase1_only () =
+  (* Pure feasibility program: one block, x + y = 7, x - y = 1 -> (4,3). *)
+  let p =
+    Nfold.make_uniform ~n:1
+      ~a:[| [| 1; 1 |] |]
+      ~b:[| [| 1; -1 |] |]
+      ~rhs_top:[| 7 |]
+      ~rhs_block:[| [| 1 |] |]
+      ~lower:[| 0; 0 |] ~upper:[| 10; 10 |] ~weight:[| 0; 0 |]
+  in
+  match Nfold.find_feasible ~max_norm:2 p with
+  | Some x ->
+      Alcotest.(check bool) "feasible" true (Nfold.check p x);
+      Alcotest.(check int) "x" 4 x.(0).(0);
+      Alcotest.(check int) "y" 3 x.(0).(1)
+  | None -> Alcotest.fail "expected feasible point"
+
+(* Random small N-folds: n in [1,3], r,s in [1,2], t in [1,3], entries in
+   [-2,2], bounds [0,3]. The augmentation solver (generous norm) must agree
+   with the MILP backend on feasibility, and when both find solutions, on
+   the objective value. *)
+let prop_aug_matches_ilp =
+  QCheck.Test.make ~name:"augmentation agrees with MILP backend" ~count:120
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let rng = Ccs_util.Prng.create seed in
+      let n = Ccs_util.Prng.int_in rng 1 3 in
+      let r = Ccs_util.Prng.int_in rng 1 2 in
+      let s = Ccs_util.Prng.int_in rng 1 2 in
+      let t = Ccs_util.Prng.int_in rng 1 3 in
+      let mat rows cols = Array.init rows (fun _ -> Array.init cols (fun _ -> Ccs_util.Prng.int_in rng (-2) 2)) in
+      let p =
+        {
+          Nfold.r; s; t; n;
+          a = Array.init n (fun _ -> mat r t);
+          b = Array.init n (fun _ -> mat s t);
+          rhs_top = Array.init r (fun _ -> Ccs_util.Prng.int_in rng (-4) 8);
+          rhs_block = Array.init n (fun _ -> Array.init s (fun _ -> Ccs_util.Prng.int_in rng (-3) 6));
+          lower = Array.init n (fun _ -> Array.make t 0);
+          upper = Array.init n (fun _ -> Array.make t 3);
+          weight = Array.init n (fun _ -> Array.init t (fun _ -> Ccs_util.Prng.int_in rng (-3) 3));
+        }
+      in
+      match (Nfold.solve_ilp p, Nfold.solve_augmentation ~max_norm:6 p) with
+      | `Infeasible, `Infeasible -> true
+      | `Solution (_, o1), `Solution (x2, o2) -> Nfold.check p x2 && o1 = o2
+      | `Node_limit, _ -> true (* no reference answer *)
+      | `Solution _, `Infeasible -> false
+      | `Infeasible, `Solution _ -> false)
+
+let test_delta () =
+  Alcotest.(check int) "delta" 1 (Nfold.delta (simple_program ()))
+
+let () =
+  Alcotest.run "nfold"
+    [ ( "unit",
+        [ Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "validate catches errors" `Quick test_validate_catches;
+          Alcotest.test_case "MILP backend" `Quick test_ilp_backend;
+          Alcotest.test_case "infeasible program" `Quick test_infeasible;
+          Alcotest.test_case "augmentation on simple program" `Quick test_augmentation_simple;
+          Alcotest.test_case "phase-1 feasibility" `Quick test_phase1_only;
+          Alcotest.test_case "delta" `Quick test_delta ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_aug_matches_ilp ]) ]

@@ -1,0 +1,239 @@
+(* Section 4 PTASs: every produced schedule is validated independently;
+   makespans are checked against the per-case guarantee formulas, against
+   exact optima on small instances, and the oracles are cross-validated
+   against the paper's literal N-fold formulation. *)
+
+module I = Ccs.Instance
+module S = Ccs.Schedule
+module Q = Rat
+module C = Ccs.Ptas.Common
+
+let random_instance ?(max_n = 12) ?(max_m = 3) ?(max_p = 30) seed =
+  let rng = Ccs_util.Prng.create seed in
+  let machines = Ccs_util.Prng.int_in rng 1 max_m in
+  let slots = Ccs_util.Prng.int_in rng 1 3 in
+  let classes = min (Ccs_util.Prng.int_in rng 1 5) (max 1 (slots * machines)) in
+  let classes = min classes max_n in
+  let spec =
+    {
+      Ccs.Generator.n = Ccs_util.Prng.int_in rng classes max_n;
+      classes;
+      machines;
+      slots;
+      p_lo = 1;
+      p_hi = max_p;
+      family = (match seed mod 3 with 0 -> Ccs.Generator.Uniform | 1 -> Zipf | _ -> Heavy_classes);
+    }
+  in
+  Ccs.Generator.generate ~seed:(seed * 13 + 5) spec
+
+let p2 = C.param 2
+
+(* splittable guarantee: Tbar + delta*T = (1 + 5 delta) T *)
+let splittable_guarantee p t =
+  let delta = C.delta p in
+  Q.mul (Q.add Q.one (Q.mul (Q.of_int 5) delta)) t
+
+(* ---------- splittable PTAS ---------- *)
+
+let prop_splittable_ptas_valid =
+  QCheck.Test.make ~name:"Thm 10: splittable PTAS valid + within guarantee" ~count:25
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let inst = random_instance seed in
+      let sched, stats = Ccs.Ptas.Splittable_ptas.solve p2 inst in
+      match S.validate_splittable inst sched with
+      | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
+      | Ok makespan ->
+          Q.(makespan <= splittable_guarantee p2 stats.Ccs.Ptas.Splittable_ptas.t_accepted))
+
+let prop_splittable_ptas_vs_exact =
+  QCheck.Test.make ~name:"Thm 10: accepted T within (1+delta) of exact opt" ~count:8
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let inst = random_instance ~max_n:7 ~max_p:20 seed in
+      match Ccs_exact.Splittable_opt.solve ~max_nodes:400 inst with
+      | None -> QCheck.assume_fail ()
+      | Some opt ->
+          let _, stats = Ccs.Ptas.Splittable_ptas.solve p2 inst in
+          (* completeness: the search cannot overshoot the optimum by more
+             than one geometric grid step *)
+          Q.(stats.Ccs.Ptas.Splittable_ptas.t_accepted
+             <= Q.mul (Q.add Q.one (C.delta p2)) opt))
+
+let test_splittable_ptas_huge_m () =
+  let inst =
+    I.make ~machines:1_000_000_000_000 ~slots:1 [ (500, 0); (499, 1); (498, 2); (3, 0) ]
+  in
+  let sched, stats = Ccs.Ptas.Splittable_ptas.solve p2 inst in
+  Alcotest.(check bool) "compressed" true stats.Ccs.Ptas.Splittable_ptas.compressed;
+  match S.validate_splittable inst sched with
+  | Ok makespan ->
+      Alcotest.(check bool) "guarantee" true
+        Q.(makespan <= splittable_guarantee p2 stats.Ccs.Ptas.Splittable_ptas.t_accepted)
+  | Error e -> Alcotest.fail e
+
+let prop_oracle_matches_nfold_form =
+  (* delta = 1: the coarsest accuracy keeps the duplicated N-fold small
+     enough for the flattened exact solve; agreement is what matters. *)
+  QCheck.Test.make ~name:"aggregated oracle = paper's N-fold form (delta=1)" ~count:8
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let p1 = C.param 1 in
+      let inst = random_instance ~max_n:6 ~max_m:2 ~max_p:12 seed in
+      let lb = Ccs.Bounds.lb_splittable inst in
+      try
+        List.for_all
+          (fun num ->
+            let t = Q.mul lb (Q.of_ints num 8) in
+            let agg = Ccs.Ptas.Splittable_ptas.oracle p1 inst t <> None in
+            let nf = Ccs.Ptas.Nfold_form.feasible_splittable p1 inst t in
+            agg = nf)
+          [ 8; 11; 16 ]
+      with C.Budget_exceeded -> QCheck.assume_fail ())
+
+let prop_np_oracle_matches_nfold_form =
+  QCheck.Test.make ~name:"non-preemptive oracle = paper's N-fold form (delta=1)" ~count:8
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let p1 = C.param 1 in
+      let inst = random_instance ~max_n:6 ~max_m:2 ~max_p:12 seed in
+      let lb =
+        Q.of_int
+          (max (I.pmax inst)
+             ((I.total_load inst + I.m inst - 1) / I.m inst))
+      in
+      try
+        (* probe at pmax (large classes exist) and two larger guesses *)
+        List.for_all
+          (fun t ->
+            let agg = Ccs.Ptas.Nonpreemptive_ptas.oracle p1 inst t <> None in
+            let nf = Ccs.Ptas.Nfold_form.feasible_nonpreemptive p1 inst t in
+            agg = nf)
+          [ Q.of_int (I.pmax inst); lb; Q.mul lb (Q.of_ints 3 2) ]
+      with C.Budget_exceeded -> QCheck.assume_fail ())
+
+let test_nfold_form_shape () =
+  (* r and s as the paper claims: s = 2 locally uniform rows, r independent
+     of the number of classes. *)
+  let inst = I.make ~machines:2 ~slots:2 [ (8, 0); (5, 1); (3, 2); (2, 2) ] in
+  let b = Ccs.Ptas.Nfold_form.build_splittable p2 inst (Ccs.Bounds.lb_splittable inst) in
+  Alcotest.(check int) "s = 2" 2 b.Ccs.Ptas.Nfold_form.program.Nfold.s;
+  Alcotest.(check int) "n = C" (I.num_classes inst) b.Ccs.Ptas.Nfold_form.program.Nfold.n;
+  let expected_r = 1 + b.Ccs.Ptas.Nfold_form.n_modules + (2 * b.Ccs.Ptas.Nfold_form.n_hb) in
+  Alcotest.(check int) "r = 1 + |M| + 2|HB|" expected_r b.Ccs.Ptas.Nfold_form.program.Nfold.r
+
+(* ---------- non-preemptive PTAS ---------- *)
+
+let prop_nonpreemptive_ptas_valid =
+  QCheck.Test.make ~name:"Thm 14: non-preemptive PTAS valid + within guarantee" ~count:25
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let inst = random_instance seed in
+      let sched, stats = Ccs.Ptas.Nonpreemptive_ptas.solve p2 inst in
+      match S.validate_nonpreemptive inst sched with
+      | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
+      | Ok makespan ->
+          Q.(Q.of_int makespan
+             <= Ccs.Ptas.Nonpreemptive_ptas.guarantee p2 stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted))
+
+let prop_nonpreemptive_ptas_vs_exact =
+  QCheck.Test.make ~name:"Thm 14: accepted T within (1+delta) of exact opt" ~count:12
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let inst = random_instance ~max_n:9 seed in
+      match Ccs_exact.Bnb.solve inst with
+      | None -> QCheck.assume_fail ()
+      | Some (opt, _) ->
+          let _, stats = Ccs.Ptas.Nonpreemptive_ptas.solve p2 inst in
+          Q.(stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted
+             <= Q.mul (Q.add Q.one (C.delta p2)) (Q.of_int opt)))
+
+let test_nonpreemptive_grouping_heavy () =
+  (* many tiny jobs force the Lemma 12 bundling path *)
+  let jobs = List.init 24 (fun i -> (1, i mod 3)) in
+  let inst = I.make ~machines:2 ~slots:2 jobs in
+  let sched, _ = Ccs.Ptas.Nonpreemptive_ptas.solve p2 inst in
+  match S.validate_nonpreemptive inst sched with
+  | Ok mk -> Alcotest.(check bool) "sane makespan" true (mk >= 12 && mk <= 24)
+  | Error e -> Alcotest.fail e
+
+(* ---------- preemptive PTAS ---------- *)
+
+let prop_preemptive_ptas_valid =
+  QCheck.Test.make ~name:"Thm 19: preemptive PTAS valid + within guarantee" ~count:20
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let inst = random_instance ~max_n:10 seed in
+      let sched, stats = Ccs.Ptas.Preemptive_ptas.solve p2 inst in
+      match S.validate_preemptive inst sched with
+      | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
+      | Ok makespan ->
+          Q.(makespan
+             <= Ccs.Ptas.Preemptive_ptas.guarantee p2 stats.Ccs.Ptas.Preemptive_ptas.t_accepted))
+
+let prop_preemptive_ptas_vs_split_opt =
+  QCheck.Test.make ~name:"Thm 19: accepted T within (1+delta) of preemptive opt bound" ~count:10
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let inst = random_instance ~max_n:8 seed in
+      (* the non-preemptive optimum upper-bounds the preemptive optimum *)
+      match Ccs_exact.Bnb.solve inst with
+      | None -> QCheck.assume_fail ()
+      | Some (np_opt, _) ->
+          let _, stats = Ccs.Ptas.Preemptive_ptas.solve p2 inst in
+          Q.(stats.Ccs.Ptas.Preemptive_ptas.t_accepted
+             <= Q.mul (Q.add Q.one (C.delta p2)) (Q.of_int np_opt)))
+
+let test_preemptive_no_self_parallel_stress () =
+  (* jobs exactly at the layer boundaries stress the flow realization *)
+  let inst = I.make ~machines:2 ~slots:1 [ (8, 0); (8, 1); (4, 0); (4, 1) ] in
+  let sched, _ = Ccs.Ptas.Preemptive_ptas.solve p2 inst in
+  match S.validate_preemptive inst sched with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* ---------- delta sweep ---------- *)
+
+let test_delta_sweep () =
+  (* finer delta must never produce a worse guarantee-normalized result *)
+  let inst = I.make ~machines:2 ~slots:2 [ (9, 0); (7, 1); (5, 2); (4, 3); (2, 0) ] in
+  List.iter
+    (fun d ->
+      let p = C.param d in
+      let sched, stats = Ccs.Ptas.Nonpreemptive_ptas.solve p inst in
+      match S.validate_nonpreemptive inst sched with
+      | Ok mk ->
+          Alcotest.(check bool)
+            (Printf.sprintf "d=%d within guarantee" d)
+            true
+            Q.(Q.of_int mk <= Ccs.Ptas.Nonpreemptive_ptas.guarantee p stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted)
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 3 ]
+
+let test_common_multisets () =
+  let ms = C.multisets ~parts:[ 2; 3 ] ~max_sum:6 ~max_count:3 () in
+  (* {}, {2}, {3}, {2,2}, {3,2}, {3,3}, {2,2,2} *)
+  Alcotest.(check int) "count" 7 (List.length ms);
+  let bounded = C.bounded_multisets ~parts:[ (2, 1); (3, 2) ] ~max_sum:8 ~max_count:3 () in
+  (* {}, {2}, {3}, {3,2}, {3,3}, {3,3,2} *)
+  Alcotest.(check int) "bounded count" 6 (List.length bounded)
+
+let test_geometric_search () =
+  let oracle t = if Q.(t >= Q.of_int 10) then Some (Q.to_string t) else None in
+  let _, accepted =
+    C.geometric_search ~lb:Q.one ~ub:(Q.of_int 100) ~delta:(Q.of_ints 1 2) ~oracle
+  in
+  Alcotest.(check bool) "within one grid step" true
+    Q.(accepted >= Q.of_int 10 && accepted <= Q.of_int 15)
+
+let () =
+  Alcotest.run "ptas"
+    [ ( "common",
+        [ Alcotest.test_case "multiset enumeration" `Quick test_common_multisets;
+          Alcotest.test_case "geometric search" `Quick test_geometric_search ] );
+      ( "unit",
+        [ Alcotest.test_case "splittable huge m (Thm 11)" `Quick test_splittable_ptas_huge_m;
+          Alcotest.test_case "N-fold block shape" `Quick test_nfold_form_shape;
+          Alcotest.test_case "non-preemptive grouping" `Quick test_nonpreemptive_grouping_heavy;
+          Alcotest.test_case "preemptive boundary stress" `Quick test_preemptive_no_self_parallel_stress;
+          Alcotest.test_case "delta sweep" `Quick test_delta_sweep ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_splittable_ptas_valid; prop_splittable_ptas_vs_exact;
+            prop_oracle_matches_nfold_form; prop_np_oracle_matches_nfold_form;
+            prop_nonpreemptive_ptas_valid;
+            prop_nonpreemptive_ptas_vs_exact; prop_preemptive_ptas_valid;
+            prop_preemptive_ptas_vs_split_opt ] ) ]

@@ -1,0 +1,93 @@
+module Q = Rat
+module B = Bigint
+
+let q = Alcotest.testable Q.pp Q.equal
+let check_q = Alcotest.check q
+
+let test_normalization () =
+  check_q "6/4 = 3/2" (Q.of_ints 3 2) (Q.of_ints 6 4);
+  check_q "-6/-4 = 3/2" (Q.of_ints 3 2) (Q.of_ints (-6) (-4));
+  check_q "6/-4 = -3/2" (Q.of_ints (-3) 2) (Q.of_ints 6 (-4));
+  check_q "0/7 = 0" Q.zero (Q.of_ints 0 7);
+  Alcotest.(check string) "den positive" "2" (B.to_string (Q.den (Q.of_ints 5 (-2)) |> B.neg |> B.neg));
+  Alcotest.check_raises "x/0" Division_by_zero (fun () -> ignore (Q.of_ints 1 0))
+
+let test_arith () =
+  check_q "1/2 + 1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "1/2 - 1/3" (Q.of_ints 1 6) (Q.sub (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "2/3 * 9/4" (Q.of_ints 3 2) (Q.mul (Q.of_ints 2 3) (Q.of_ints 9 4));
+  check_q "(2/3) / (4/9)" (Q.of_ints 3 2) (Q.div (Q.of_ints 2 3) (Q.of_ints 4 9));
+  check_q "neg" (Q.of_ints (-5) 6) (Q.neg (Q.of_ints 5 6));
+  check_q "inv" (Q.of_ints (-2) 5) (Q.inv (Q.of_ints (-5) 2))
+
+let test_floor_ceil () =
+  let f s = B.to_int_exn (Q.floor (Q.of_string s)) in
+  let c s = B.to_int_exn (Q.ceil (Q.of_string s)) in
+  Alcotest.(check int) "floor 7/2" 3 (f "7/2");
+  Alcotest.(check int) "ceil 7/2" 4 (c "7/2");
+  Alcotest.(check int) "floor -7/2" (-4) (f "-7/2");
+  Alcotest.(check int) "ceil -7/2" (-3) (c "-7/2");
+  Alcotest.(check int) "floor 4" 4 (f "4");
+  Alcotest.(check int) "ceil 4" 4 (c "4")
+
+let test_strings () =
+  check_q "parse int" (Q.of_int 17) (Q.of_string "17");
+  check_q "parse frac" (Q.of_ints 22 7) (Q.of_string "22/7");
+  check_q "parse decimal" (Q.of_ints 13 4) (Q.of_string "3.25");
+  check_q "parse neg decimal" (Q.of_ints (-1) 8) (Q.of_string "-0.125");
+  Alcotest.(check string) "print" "22/7" (Q.to_string (Q.of_ints 22 7));
+  Alcotest.(check string) "print int" "-3" (Q.to_string (Q.of_int (-3)))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(of_ints 1 3 < of_ints 1 2);
+  Alcotest.(check bool) "-1/3 > -1/2" true Q.(of_ints (-1) 3 > of_ints (-1) 2);
+  Alcotest.(check bool) "eq across repr" true Q.(of_ints 2 4 = of_ints 1 2)
+
+let arb =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun p q -> Q.of_ints p (if q = 0 then 1 else q))
+        (int_range (-10000) 10000) (int_range (-100) 100))
+  in
+  QCheck.make ~print:Q.to_string gen
+
+let arb_nz =
+  QCheck.make ~print:Q.to_string
+    (QCheck.Gen.map
+       (fun x -> if Q.is_zero x then Q.one else x)
+       (QCheck.get_gen arb))
+
+let props =
+  [ QCheck.Test.make ~name:"field: a + (-a) = 0" ~count:500 arb (fun a ->
+        Q.(equal (add a (neg a)) zero));
+    QCheck.Test.make ~name:"field: a * inv a = 1" ~count:500 arb_nz (fun a ->
+        Q.(equal (mul a (inv a)) one));
+    QCheck.Test.make ~name:"distributivity" ~count:500 (QCheck.triple arb arb arb)
+      (fun (a, b, c) -> Q.(equal (mul a (add b c)) (add (mul a b) (mul a c))));
+    QCheck.Test.make ~name:"add assoc" ~count:500 (QCheck.triple arb arb arb)
+      (fun (a, b, c) -> Q.(equal (add a (add b c)) (add (add a b) c)));
+    QCheck.Test.make ~name:"floor <= x < floor+1" ~count:500 arb (fun a ->
+        let f = Q.of_bigint (Q.floor a) in
+        Q.(f <= a) && Q.(a < add f one));
+    QCheck.Test.make ~name:"ceil-floor in {0,1}" ~count:500 arb (fun a ->
+        let d = B.sub (Q.ceil a) (Q.floor a) in
+        B.is_zero d || B.equal d B.one);
+    QCheck.Test.make ~name:"string roundtrip" ~count:500 arb (fun a ->
+        Q.equal a (Q.of_string (Q.to_string a)));
+    QCheck.Test.make ~name:"compare consistent with sub" ~count:500
+      (QCheck.pair arb arb) (fun (a, b) ->
+        Q.compare a b = Q.sign (Q.sub a b));
+    QCheck.Test.make ~name:"to_float approximates" ~count:500 arb (fun a ->
+        let f = Q.to_float a in
+        abs_float (f -. (B.to_float (Q.num a) /. B.to_float (Q.den a))) < 1e-9) ]
+
+let () =
+  Alcotest.run "rat"
+    [ ( "unit",
+        [ Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "compare" `Quick test_compare ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props) ]

@@ -1,0 +1,88 @@
+module P = Ccs_util.Prng
+module S = Ccs_util.Stats
+module T = Ccs_util.Tables
+
+let test_prng_deterministic () =
+  let a = P.create 42 and b = P.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (P.next_int a) (P.next_int b)
+  done;
+  let c = P.create 43 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (P.next_int (P.create 42) <> P.next_int c)
+
+let test_prng_bounds () =
+  let rng = P.create 7 in
+  for _ = 1 to 1000 do
+    let v = P.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let w = P.int_in rng 5 8 in
+    Alcotest.(check bool) "int_in range" true (w >= 5 && w <= 8);
+    let f = P.float rng in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (P.int rng 0))
+
+let test_prng_uniformity () =
+  (* chi-square-ish sanity: 10 buckets, 10000 draws, each within 3x sigma *)
+  let rng = P.create 11 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = P.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun count -> Alcotest.(check bool) "bucket near 1000" true (count > 850 && count < 1150))
+    buckets
+
+let test_prng_weighted () =
+  let rng = P.create 13 in
+  let counts = Array.make 2 0 in
+  for _ = 1 to 2000 do
+    let i = P.weighted rng [| 3.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "roughly 3:1" true
+    (counts.(0) > 1350 && counts.(0) < 1650)
+
+let test_prng_shuffle () =
+  let rng = P.create 17 in
+  let a = Array.init 20 Fun.id in
+  P.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_stats () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (S.mean a);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (S.minimum a);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (S.maximum a);
+  Alcotest.(check (float 1e-9)) "median" 2.0 (S.median a);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (S.stddev a);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (S.percentile a 100.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (S.mean [||]))
+
+let test_tables () =
+  let t = T.create [ "a"; "bb" ] in
+  T.add_row t [ "1"; "2" ];
+  T.add_row t [ "333"; "4" ];
+  let rendered = T.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0
+    && String.split_on_char '\n' rendered |> List.length = 4);
+  Alcotest.check_raises "arity" (Invalid_argument "Tables.add_row: arity mismatch")
+    (fun () -> T.add_row t [ "only-one" ])
+
+let () =
+  Alcotest.run "util"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "weighted" `Quick test_prng_weighted;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle ] );
+      ("stats", [ Alcotest.test_case "basics" `Quick test_stats ]);
+      ("tables", [ Alcotest.test_case "render" `Quick test_tables ]) ]
