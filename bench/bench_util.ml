@@ -28,6 +28,19 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Time [f] against a freshly reset metrics registry; returns the result,
+   wall-clock seconds and the solver counters [f] accumulated (active
+   metrics only, as JSON values keyed by metric name). *)
+let time_observed f =
+  Ccs_obs.Metrics.reset ();
+  let r, dt = time f in
+  (r, dt, Ccs_obs.Metrics.snapshot ())
+
+let write_json path json =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Ccs_obs.Jsonx.to_string json);
+      Out_channel.output_char oc '\n')
+
 let header title =
   Printf.printf "\n=== %s ===\n" title
 

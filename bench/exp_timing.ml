@@ -33,7 +33,7 @@ let tests =
           (Staged.stage (fun () -> ignore (Ccs.Approx.Nonpreemptive.solve inst))) ])
     sizes
 
-let e5 () =
+let rec e5 () =
   U.header "E5 — running-time scaling (Theorems 4, 5, 6)";
   let grouped = Test.make_grouped ~name:"approx" tests in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
@@ -74,4 +74,51 @@ let e5 () =
   T.print table;
   U.footnote
     "claim: growth exponent stays at or below ~2 (the n^2 in the bound comes from\n\
-     C log m iterations x O(n) work; here C = n/5 grows with n)."
+     C log m iterations x O(n) work; here C = n/5 grows with n).";
+  write_timing_json ()
+
+(* Single observed runs per (variant, algorithm, n): wall-clock plus the
+   solver counters (simplex pivots, B&B nodes, oracle guesses, ...) from the
+   metrics registry, dumped as BENCH_timing.json at the repo root. The
+   approx algorithms run at the bechamel sizes; the PTASs (which go through
+   the configuration ILP) at small n so the file regenerates in seconds. *)
+and write_timing_json () =
+  let module J = Ccs_obs.Jsonx in
+  let row ~variant ~algo ~n inst f =
+    let _, wall, counters = U.time_observed f in
+    J.Obj
+      [ ("variant", J.Str variant);
+        ("algo", J.Str algo);
+        ("n", J.Int n);
+        ("m", J.Int (Ccs.Instance.m inst));
+        ("classes", J.Int (Ccs.Instance.num_classes inst));
+        ("wall_s", J.Float wall);
+        ("counters", J.Obj counters) ]
+  in
+  let approx_rows =
+    List.concat_map
+      (fun n ->
+        let inst = make_instance n in
+        [ row ~variant:"splittable" ~algo:"approx" ~n inst (fun () ->
+              ignore (Ccs.Approx.Splittable.solve inst));
+          row ~variant:"preemptive" ~algo:"approx" ~n inst (fun () ->
+              ignore (Ccs.Approx.Preemptive.solve inst));
+          row ~variant:"nonpreemptive" ~algo:"approx" ~n inst (fun () ->
+              ignore (Ccs.Approx.Nonpreemptive.solve inst)) ])
+      sizes
+  in
+  let param = Ccs.Ptas.Common.param 1 in
+  let ptas_rows =
+    List.concat_map
+      (fun n ->
+        let inst = make_instance n in
+        [ row ~variant:"splittable" ~algo:"ptas" ~n inst (fun () ->
+              ignore (Ccs.Ptas.Splittable_ptas.solve param inst));
+          row ~variant:"nonpreemptive" ~algo:"ptas" ~n inst (fun () ->
+              ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param inst)) ])
+      [ 20; 40 ]
+  in
+  let path = "BENCH_timing.json" in
+  U.write_json path (J.List (approx_rows @ ptas_rows));
+  U.footnote (Printf.sprintf "wrote %s (%d rows)" path
+                (List.length approx_rows + List.length ptas_rows))

@@ -20,9 +20,21 @@ let family_conv =
   in
   Arg.conv (parse, print)
 
-let run n classes machines slots p_lo p_hi family seed output =
+let run n classes machines slots p_lo p_hi family seed output obs =
+  Obs_cli.with_reporting obs @@ fun () ->
   let spec = { Ccs.Generator.n; classes; machines; slots; p_lo; p_hi; family } in
-  let inst = Ccs.Generator.generate ~seed spec in
+  let inst =
+    Ccs_obs.Span.with_ "gen.generate"
+      ~fields:[ Ccs_obs.Log.int "n" n; Ccs_obs.Log.int "seed" seed ]
+      (fun () -> Ccs.Generator.generate ~seed spec)
+  in
+  Ccs_obs.Log.info (fun log ->
+      log
+        ~fields:
+          [ Ccs_obs.Log.int "n" (Ccs.Instance.n inst);
+            Ccs_obs.Log.int "classes" (Ccs.Instance.num_classes inst);
+            Ccs_obs.Log.int "machines" (Ccs.Instance.m inst) ]
+        "gen.generate: done");
   let text = Ccs.Io.to_string inst in
   (match output with
   | None -> print_string text
@@ -45,6 +57,6 @@ let cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (stdout if absent).") in
   let info = Cmd.info "ccs_gen" ~doc:"Generate Class Constrained Scheduling instances" in
-  Cmd.v info Term.(const run $ n $ classes $ machines $ slots $ p_lo $ p_hi $ family $ seed $ output)
+  Cmd.v info Term.(const run $ n $ classes $ machines $ slots $ p_lo $ p_hi $ family $ seed $ output $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -76,7 +76,8 @@ let print_preemptive sched =
       end)
     sched
 
-let run file variant algo epsilon quiet =
+let run file variant algo epsilon quiet obs =
+  Obs_cli.with_reporting obs @@ fun () ->
   match Ccs.Io.load file with
   | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -155,6 +156,6 @@ let cmd =
   let epsilon = Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"PTAS accuracy (delta = 1/ceil(1/epsilon)).") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the schedule.") in
   let info = Cmd.info "ccs_solve" ~doc:"Solve Class Constrained Scheduling instances" in
-  Cmd.v info Term.(const run $ file $ variant $ algo $ epsilon $ quiet)
+  Cmd.v info Term.(const run $ file $ variant $ algo $ epsilon $ quiet $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,60 @@
+(* Shared observability flags for the two CLIs: --log-level, --log-json,
+   --trace-out and --metrics, plus the end-of-run reporting they imply. *)
+
+open Cmdliner
+
+type t = { trace_out : string option; metrics : bool }
+
+let log_level =
+  Arg.(
+    value
+    & opt string "warn"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Log verbosity: off, error, warn, info, debug or trace.")
+
+let log_json =
+  Arg.(
+    value & flag & info [ "log-json" ] ~doc:"Emit log lines as JSONL instead of text.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Record solver-phase spans and write a Chrome trace-event JSON file.")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the metrics registry as a table after the run.")
+
+let setup level_s json trace metrics =
+  (match Ccs_obs.Log.level_of_string level_s with
+  | Ok lvl -> Ccs_obs.Log.set_level lvl
+  | Error e ->
+      Printf.eprintf "error: --log-level: %s\n" e;
+      exit 2);
+  if json then Ccs_obs.Log.set_format Ccs_obs.Log.Jsonl;
+  if trace <> None then Ccs_obs.Span.set_enabled true;
+  { trace_out = trace; metrics }
+
+let term = Term.(const setup $ log_level $ log_json $ trace_out $ metrics)
+
+(* Runs even when the solver raised: partial metrics and traces are exactly
+   what one wants when diagnosing a failure. *)
+let report t =
+  (match t.trace_out with
+  | Some path ->
+      Ccs_obs.Span.write_chrome_trace path;
+      Printf.eprintf "wrote trace (%d spans) to %s\n" (Ccs_obs.Span.count ()) path
+  | None -> ());
+  if t.metrics then print_endline (Ccs_obs.Metrics.dump_table ())
+
+let with_reporting t f =
+  match f () with
+  | code ->
+      report t;
+      code
+  | exception e ->
+      report t;
+      raise e

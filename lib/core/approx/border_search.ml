@@ -2,6 +2,9 @@ module Q = Rat
 
 type result = { t_star : Q.t; probes : int }
 
+let m_probes = Ccs_obs.Metrics.counter "border_search.probes"
+let m_searches = Ccs_obs.Metrics.counter "border_search.searches"
+
 let count_classes ~loads ~cap t =
   let count = ref 0 in
   (try
@@ -23,13 +26,29 @@ let slot_cap ~machines ~slots =
 
 let search ~loads ~machines ~slots ~lb =
   if Q.sign lb <= 0 then invalid_arg "Border_search.search: lb must be positive";
+  Ccs_obs.Span.with_ "border_search"
+    ~fields:
+      [ Ccs_obs.Log.int "classes" (Array.length loads);
+        Ccs_obs.Log.int "machines" machines ]
+  @@ fun () ->
   let cap = slot_cap ~machines ~slots in
   let probes = ref 0 in
   let feasible t =
     incr probes;
     count_classes ~loads ~cap t <= cap
   in
-  if feasible lb then { t_star = lb; probes = !probes }
+  let finish r =
+    Ccs_obs.Metrics.incr m_searches;
+    Ccs_obs.Metrics.add m_probes r.probes;
+    Ccs_obs.Log.debug (fun log ->
+        log
+          ~fields:
+            [ Ccs_obs.Log.str "t_star" (Q.to_string r.t_star);
+              Ccs_obs.Log.int "probes" r.probes ]
+          "border_search.done");
+    r
+  in
+  if feasible lb then finish { t_star = lb; probes = !probes }
   else begin
     let best = ref None in
     Array.iter
@@ -56,7 +75,7 @@ let search ~loads ~machines ~slots ~lb =
         end)
       loads;
     match !best with
-    | Some t -> { t_star = t; probes = !probes }
+    | Some t -> finish { t_star = t; probes = !probes }
     | None ->
         invalid_arg
           "Border_search.search: no feasible guess (C > c*m, instance unschedulable)"

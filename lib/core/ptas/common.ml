@@ -49,6 +49,18 @@ let bounded_multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
 
 exception Budget_exceeded
 
+let m_guesses = Ccs_obs.Metrics.counter "ptas.guesses"
+let m_ilp_calls = Ccs_obs.Metrics.counter "ptas.ilp_calls"
+let h_ilp_vars = Ccs_obs.Metrics.histogram "ptas.ilp_vars"
+let h_large = Ccs_obs.Metrics.histogram "ptas.large_classes"
+let h_small_groups = Ccs_obs.Metrics.histogram "ptas.small_size_groups"
+let h_configs = Ccs_obs.Metrics.histogram "ptas.configs"
+
+let observe_rounding ~large ~small_groups ~configs =
+  Ccs_obs.Metrics.observe h_large (float_of_int large);
+  Ccs_obs.Metrics.observe h_small_groups (float_of_int small_groups);
+  Ccs_obs.Metrics.observe h_configs (float_of_int configs)
+
 type row = { coeffs : (int * int) list; cmp : Lp.cmp; rhs : int }
 
 let row_eq coeffs rhs = { coeffs; cmp = Lp.Eq; rhs }
@@ -76,6 +88,13 @@ let solve_int_feasibility ?(max_nodes = 50_000) ~nvars ~upper rows =
   let lp =
     Lp.problem ~upper:upper_q ~nvars ~objective:(Array.make nvars Q.zero) constraints
   in
+  Ccs_obs.Metrics.incr m_ilp_calls;
+  Ccs_obs.Metrics.observe h_ilp_vars (float_of_int nvars);
+  Ccs_obs.Span.with_ "ptas.ilp"
+    ~fields:
+      [ Ccs_obs.Log.int "nvars" nvars;
+        Ccs_obs.Log.int "rows" (List.length constraints) ]
+  @@ fun () ->
   match Ilp.solve ~max_nodes ~feasibility:true (Ilp.all_integer lp) with
   | Ilp.Optimal { solution; _ } ->
       Some (Array.map (fun v -> Bigint.to_int_exn (Q.num v)) solution)
@@ -85,6 +104,21 @@ let solve_int_feasibility ?(max_nodes = 50_000) ~nvars ~upper rows =
 
 let geometric_search ~lb ~ub ~delta ~oracle =
   if Q.(ub < lb) then invalid_arg "geometric_search: ub < lb";
+  Ccs_obs.Span.with_ "ptas.binary_search"
+    ~fields:
+      [ Ccs_obs.Log.str "lb" (Q.to_string lb); Ccs_obs.Log.str "ub" (Q.to_string ub) ]
+  @@ fun () ->
+  let oracle t =
+    Ccs_obs.Metrics.incr m_guesses;
+    let answer = oracle t in
+    Ccs_obs.Log.debug (fun log ->
+        log
+          ~fields:
+            [ Ccs_obs.Log.str "t" (Q.to_string t);
+              Ccs_obs.Log.bool "accepted" (answer <> None) ]
+          "ptas.guess");
+    answer
+  in
   let step = Q.add Q.one delta in
   (* grid index of the first point >= ub *)
   let rec grid_size i t = if Q.(t >= ub) then i else grid_size (i + 1) (Q.mul t step) in

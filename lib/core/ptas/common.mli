@@ -47,6 +47,11 @@ val row_ge : (int * int) list -> int -> row
 val solve_int_feasibility :
   ?max_nodes:int -> nvars:int -> upper:int option array -> row list -> int array option
 
+(** Record the shape of one oracle call's rounded instance into the metrics
+    registry (histograms [ptas.large_classes], [ptas.small_size_groups] and
+    [ptas.configs]); every PTAS variant calls this once per guess. *)
+val observe_rounding : large:int -> small_groups:int -> configs:int -> unit
+
 (** [geometric_search ~lb ~ub ~delta ~oracle] finds the smallest grid point
     [T = lb * (1+delta)^i] (clamped to [ub]) accepted by the oracle and
     returns the oracle's witness together with the accepted guess. The

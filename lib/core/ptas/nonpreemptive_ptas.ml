@@ -362,19 +362,27 @@ let construct inst rounded layout sol =
 
 let oracle (p : Common.param) inst t =
   if Q.(Q.of_int (Instance.pmax inst) > t) then None
-  else begin
-    let rounded = round_instance p inst t in
-    let layout = build_layout rounded in
+  else
+    Ccs_obs.Span.with_ "nonpreemptive.oracle"
+      ~fields:[ Ccs_obs.Log.str "t" (Q.to_string t) ]
+    @@ fun () ->
+    let rounded = Ccs_obs.Span.with_ "ptas.round" (fun () -> round_instance p inst t) in
+    let layout = Ccs_obs.Span.with_ "ptas.layout" (fun () -> build_layout rounded) in
+    Common.observe_rounding
+      ~large:(List.length rounded.large)
+      ~small_groups:(List.length rounded.smalls_by_size)
+      ~configs:(Array.length layout.configs);
     let rows = build_rows inst rounded layout in
     let upper = Array.make layout.nvars None in
     match Common.solve_int_feasibility ~nvars:layout.nvars ~upper rows with
     | None -> None
     | Some sol ->
-        let assignment = construct inst rounded layout sol in
+        let assignment =
+          Ccs_obs.Span.with_ "ptas.construct" (fun () -> construct inst rounded layout sol)
+        in
         (match Schedule.validate_nonpreemptive inst assignment with
         | Ok _ -> Some assignment
         | Error e -> failwith ("Nonpreemptive_ptas: constructed invalid schedule: " ^ e))
-  end
 
 let solve p inst =
   if not (Instance.schedulable inst) then
@@ -384,7 +392,14 @@ let solve p inst =
     (* one job per machine: optimal with makespan pmax *)
     ( Array.init n (fun j -> j),
       { t_accepted = Q.of_int (Instance.pmax inst); oracle_calls = 0; ilp_vars = 0 } )
-  else begin
+  else
+    Ccs_obs.Span.with_ "nonpreemptive.solve"
+      ~fields:
+        [ Ccs_obs.Log.int "n" n;
+          Ccs_obs.Log.int "m" (Instance.m inst);
+          Ccs_obs.Log.int "c" (Instance.c inst);
+          Ccs_obs.Log.int "d" p.Common.d ]
+    @@ fun () ->
     let calls = ref 0 in
     let orc t =
       incr calls;
@@ -401,8 +416,14 @@ let solve p inst =
     in
     let rounded = round_instance p inst t_accepted in
     let layout = build_layout rounded in
+    Ccs_obs.Log.info (fun log ->
+        log
+          ~fields:
+            [ Ccs_obs.Log.str "t_accepted" (Q.to_string t_accepted);
+              Ccs_obs.Log.int "oracle_calls" !calls;
+              Ccs_obs.Log.int "ilp_vars" layout.nvars ]
+          "nonpreemptive.solve: accepted");
     (sched, { t_accepted; oracle_calls = !calls; ilp_vars = layout.nvars })
-  end
 
 type abstract = {
   a_tbar : int;

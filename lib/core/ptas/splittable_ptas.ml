@@ -383,9 +383,19 @@ let construct inst rounded layout sol ~explicit_limit =
 (* ---------------------------------------------------------------- *)
 
 let oracle ?(explicit_limit = 4096) (p : Common.param) inst t =
-  let rounded = round_instance p inst t in
-  let configs = configurations p inst rounded in
-  let layout = build_layout rounded configs in
+  Ccs_obs.Span.with_ "splittable.oracle"
+    ~fields:[ Ccs_obs.Log.str "t" (Q.to_string t) ]
+  @@ fun () ->
+  let rounded, configs =
+    Ccs_obs.Span.with_ "ptas.round" (fun () ->
+        let rounded = round_instance p inst t in
+        (rounded, configurations p inst rounded))
+  in
+  let layout = Ccs_obs.Span.with_ "ptas.layout" (fun () -> build_layout rounded configs) in
+  Common.observe_rounding
+    ~large:(List.length rounded.large)
+    ~small_groups:(List.length rounded.smalls_by_size)
+    ~configs:(List.length configs);
   let nclasses = Instance.num_classes inst in
   let cardinality_cap =
     if Instance.m inst > explicit_limit then Some ((nclasses * (nclasses - 1) / 2) + nclasses)
@@ -396,7 +406,10 @@ let oracle ?(explicit_limit = 4096) (p : Common.param) inst t =
   match Common.solve_int_feasibility ~nvars:layout.nvars ~upper rows with
   | None -> None
   | Some sol ->
-      let sched = construct inst rounded layout sol ~explicit_limit in
+      let sched =
+        Ccs_obs.Span.with_ "ptas.construct" (fun () ->
+            construct inst rounded layout sol ~explicit_limit)
+      in
       (match Schedule.validate_splittable inst sched with
       | Ok _ -> Some sched
       | Error e -> failwith ("Splittable_ptas: constructed invalid schedule: " ^ e))
@@ -404,6 +417,13 @@ let oracle ?(explicit_limit = 4096) (p : Common.param) inst t =
 let solve ?(explicit_limit = 4096) p inst =
   if not (Instance.schedulable inst) then
     invalid_arg "Splittable_ptas.solve: C > c*m, no schedule exists";
+  Ccs_obs.Span.with_ "splittable.solve"
+    ~fields:
+      [ Ccs_obs.Log.int "n" (Instance.n inst);
+        Ccs_obs.Log.int "m" (Instance.m inst);
+        Ccs_obs.Log.int "c" (Instance.c inst);
+        Ccs_obs.Log.int "d" p.Common.d ]
+  @@ fun () ->
   let calls = ref 0 in
   let last_vars = ref 0 in
   let orc t =
@@ -416,6 +436,13 @@ let solve ?(explicit_limit = 4096) p inst =
   (let rounded = round_instance p inst t_accepted in
    let layout = build_layout rounded (configurations p inst rounded) in
    last_vars := layout.nvars);
+  Ccs_obs.Log.info (fun log ->
+      log
+        ~fields:
+          [ Ccs_obs.Log.str "t_accepted" (Q.to_string t_accepted);
+            Ccs_obs.Log.int "oracle_calls" !calls;
+            Ccs_obs.Log.int "ilp_vars" !last_vars ]
+        "splittable.solve: accepted");
   ( sched,
     {
       t_accepted;

@@ -1,3 +1,9 @@
+let m_solves = Ccs_obs.Metrics.counter "bnb.solves"
+let m_nodes = Ccs_obs.Metrics.counter "bnb.nodes"
+let m_prune_area = Ccs_obs.Metrics.counter "bnb.prunes_area"
+let m_incumbents = Ccs_obs.Metrics.counter "bnb.incumbents"
+let m_limit_hits = Ccs_obs.Metrics.counter "bnb.node_limit_hits"
+
 let solve ?(node_limit = 50_000_000) inst =
   if not (Ccs.Instance.schedulable inst) then None
   else begin
@@ -25,6 +31,8 @@ let solve ?(node_limit = 50_000_000) inst =
     let class_used = Array.init m (fun _ -> Hashtbl.create 4) in
     let assignment = Array.make n (-1) in
     let nodes = ref 0 in
+    let prunes = ref 0 in
+    let incumbents = ref 0 in
     let exception Limit in
     let rec go idx current_max =
       incr nodes;
@@ -32,6 +40,13 @@ let solve ?(node_limit = 50_000_000) inst =
       if current_max < !best then begin
         if idx = n then begin
           best := current_max;
+          incr incumbents;
+          Ccs_obs.Log.debug (fun log ->
+              log
+                ~fields:
+                  [ Ccs_obs.Log.int "makespan" current_max;
+                    Ccs_obs.Log.int "nodes" !nodes ]
+                "bnb.incumbent");
           let out = Array.make n 0 in
           for k = 0 to n - 1 do
             out.(order.(k)) <- assignment.(k)
@@ -44,7 +59,8 @@ let solve ?(node_limit = 50_000_000) inst =
           for k = 0 to m - 1 do
             slack := !slack + max 0 (!best - 1 - loads.(k))
           done;
-          if !slack >= suffix.(idx) then begin
+          if !slack < suffix.(idx) then incr prunes
+          else begin
             let tried_empty = ref false in
             for k = 0 to m - 1 do
               let empty = loads.(k) = 0 in
@@ -73,9 +89,30 @@ let solve ?(node_limit = 50_000_000) inst =
         end
       end
     in
-    match go 0 0 with
-    | () -> Some (!best, !best_assignment)
-    | exception Limit -> None
+    let finish result =
+      Ccs_obs.Metrics.incr m_solves;
+      Ccs_obs.Metrics.add m_nodes !nodes;
+      Ccs_obs.Metrics.add m_prune_area !prunes;
+      Ccs_obs.Metrics.add m_incumbents !incumbents;
+      Ccs_obs.Log.debug (fun log ->
+          log
+            ~fields:
+              [ Ccs_obs.Log.int "n" n;
+                Ccs_obs.Log.int "m" m;
+                Ccs_obs.Log.int "nodes" !nodes;
+                Ccs_obs.Log.int "prunes_area" !prunes;
+                Ccs_obs.Log.bool "limit_hit" (result = None) ]
+            "bnb.solve");
+      result
+    in
+    Ccs_obs.Span.with_ "bnb.solve"
+      ~fields:[ Ccs_obs.Log.int "n" n; Ccs_obs.Log.int "m" m ]
+      (fun () ->
+        match go 0 0 with
+        | () -> finish (Some (!best, !best_assignment))
+        | exception Limit ->
+            Ccs_obs.Metrics.incr m_limit_hits;
+            finish None)
   end
 
 let brute_force inst =

@@ -10,6 +10,12 @@ type result =
 
 let all_integer lp = { lp; integer = Array.make lp.Lp.nvars true }
 
+let m_solves = Ccs_obs.Metrics.counter "ilp.solves"
+let m_nodes = Ccs_obs.Metrics.counter "ilp.nodes"
+let m_prunes = Ccs_obs.Metrics.counter "ilp.prunes_bound"
+let m_limit_hits = Ccs_obs.Metrics.counter "ilp.node_limit_hits"
+let h_nodes = Ccs_obs.Metrics.histogram "ilp.nodes_per_solve"
+
 let nodes = ref 0
 
 let last_node_count () = !nodes
@@ -45,20 +51,21 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) p =
       else begin
         let lp = { p.lp with Lp.lower; upper } in
         match Lp.solve lp with
-        | Lp.Infeasible -> ()
-        | Lp.Unbounded ->
+        | Lp.Infeasible _ -> ()
+        | Lp.Unbounded _ ->
             (* With integer variables an unbounded relaxation does not decide
                the MILP, but every problem in this repository has a bounded
                relaxation; treat as a hard error to surface modelling bugs. *)
             failwith "Ilp.solve: unbounded relaxation"
-        | Lp.Optimal { objective; solution } -> (
+        | Lp.Optimal { objective; solution; _ } -> (
             (* bound pruning *)
             let dominated =
               match !incumbent with
               | Some (best, _) -> Q.(objective >= best)
               | None -> false
             in
-            if not dominated then
+            if dominated then Ccs_obs.Metrics.incr m_prunes
+            else
               match pick_branch_var p.integer solution with
               | None ->
                   if feasibility then raise (Found_first (objective, solution))
@@ -93,20 +100,41 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) p =
       end
     end
   in
-  match Lp.solve p.lp with
-  | Lp.Unbounded -> Unbounded
-  | Lp.Infeasible -> Infeasible
-  | Lp.Optimal _ -> (
-      match
-        (try
-           search (Array.copy p.lp.Lp.lower) (Array.copy p.lp.Lp.upper);
-           None
-         with Found_first (o, x) -> Some (o, x))
-      with
-      | Some (objective, solution) -> Optimal { objective; solution }
-      | None -> (
-          if !limit_hit then Node_limit
-          else
-            match !incumbent with
-            | Some (objective, solution) -> Optimal { objective; solution }
-            | None -> Infeasible))
+  let result =
+    match Lp.solve p.lp with
+    | Lp.Unbounded _ -> Unbounded
+    | Lp.Infeasible _ -> Infeasible
+    | Lp.Optimal _ -> (
+        match
+          (try
+             search (Array.copy p.lp.Lp.lower) (Array.copy p.lp.Lp.upper);
+             None
+           with Found_first (o, x) -> Some (o, x))
+        with
+        | Some (objective, solution) -> Optimal { objective; solution }
+        | None -> (
+            if !limit_hit then Node_limit
+            else
+              match !incumbent with
+              | Some (objective, solution) -> Optimal { objective; solution }
+              | None -> Infeasible))
+  in
+  Ccs_obs.Metrics.incr m_solves;
+  Ccs_obs.Metrics.add m_nodes !nodes;
+  Ccs_obs.Metrics.observe h_nodes (float_of_int !nodes);
+  if !limit_hit then Ccs_obs.Metrics.incr m_limit_hits;
+  Ccs_obs.Log.debug (fun log ->
+      log
+        ~fields:
+          [
+            Ccs_obs.Log.int "nvars" p.lp.Lp.nvars;
+            Ccs_obs.Log.int "nodes" !nodes;
+            Ccs_obs.Log.str "result"
+              (match result with
+              | Optimal _ -> "optimal"
+              | Infeasible -> "infeasible"
+              | Unbounded -> "unbounded"
+              | Node_limit -> "node_limit");
+          ]
+        "ilp.solve");
+  result

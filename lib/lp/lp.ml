@@ -12,10 +12,26 @@ type problem = {
   upper : Q.t option array;
 }
 
+type stats = {
+  phase1_iterations : int;
+  phase2_iterations : int;
+  pivots : int;
+  bland_switched : bool;
+}
+
 type result =
-  | Optimal of { objective : Q.t; solution : Q.t array }
-  | Infeasible
-  | Unbounded
+  | Optimal of { objective : Q.t; solution : Q.t array; stats : stats }
+  | Infeasible of stats
+  | Unbounded of stats
+
+(* Registry handles created once; per-solve updates are plain field writes. *)
+let m_solves = Ccs_obs.Metrics.counter "lp.solves"
+let m_pivots = Ccs_obs.Metrics.counter "lp.pivots"
+let m_phase1 = Ccs_obs.Metrics.counter "lp.phase1_iterations"
+let m_phase2 = Ccs_obs.Metrics.counter "lp.phase2_iterations"
+let m_bland = Ccs_obs.Metrics.counter "lp.bland_switches"
+let m_infeasible = Ccs_obs.Metrics.counter "lp.infeasible"
+let m_unbounded = Ccs_obs.Metrics.counter "lp.unbounded"
 
 let problem ?lower ?upper ~nvars ~objective constraints =
   let lower = match lower with Some l -> l | None -> Array.make nvars (Some Q.zero) in
@@ -93,11 +109,15 @@ let pivot t row col =
   end;
   t.basis.(row) <- col
 
+(* One phase's worth of simplex effort, reported back to [solve]. *)
+type phase_stats = { iters : int; pivs : int; bland : bool }
+
 (* Dantzig rule for speed, switching to Bland's rule (which provably cannot
    cycle) after a grace period proportional to the tableau size. *)
 let run_simplex t ~n_enter =
   let m = Array.length t.a in
   let iterations = ref 0 in
+  let pivots = ref 0 in
   let bland_after = 50 * (m + n_enter) in
   let rec loop () =
     incr iterations;
@@ -138,11 +158,13 @@ let run_simplex t ~n_enter =
       if !row < 0 then `Unbounded
       else begin
         pivot t !row col;
+        incr pivots;
         loop ()
       end
     end
   in
-  loop ()
+  let status = loop () in
+  (status, { iters = !iterations; pivs = !pivots; bland = !iterations > bland_after })
 
 (* ------------------------------------------------------------------ *)
 (* Conversion from the user-facing form to standard form.
@@ -251,13 +273,52 @@ let solve p =
     done;
     t.obj <- Q.sub t.obj t.b.(i)
   done;
-  (match run_simplex t ~n_enter:n_total with
-  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-  | `Optimal -> ());
-  if Q.sign t.obj < 0 then Infeasible
+  let p1 =
+    match run_simplex t ~n_enter:n_total with
+    | `Unbounded, _ -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal, ps -> ps
+  in
+  let record ~p1 ~p2 ~extra_pivots ~outcome =
+    let stats =
+      {
+        phase1_iterations = p1.iters;
+        phase2_iterations = p2.iters;
+        pivots = p1.pivs + p2.pivs + extra_pivots;
+        bland_switched = p1.bland || p2.bland;
+      }
+    in
+    Ccs_obs.Metrics.incr m_solves;
+    Ccs_obs.Metrics.add m_phase1 stats.phase1_iterations;
+    Ccs_obs.Metrics.add m_phase2 stats.phase2_iterations;
+    Ccs_obs.Metrics.add m_pivots stats.pivots;
+    if stats.bland_switched then Ccs_obs.Metrics.incr m_bland;
+    (match outcome with
+    | `Infeasible -> Ccs_obs.Metrics.incr m_infeasible
+    | `Unbounded -> Ccs_obs.Metrics.incr m_unbounded
+    | `Optimal -> ());
+    Ccs_obs.Log.trace (fun log ->
+        log
+          ~fields:
+            [
+              Ccs_obs.Log.int "rows" m;
+              Ccs_obs.Log.int "cols" n_total;
+              Ccs_obs.Log.int "pivots" stats.pivots;
+              Ccs_obs.Log.str "outcome"
+                (match outcome with
+                | `Infeasible -> "infeasible"
+                | `Unbounded -> "unbounded"
+                | `Optimal -> "optimal");
+            ]
+          "lp.solve");
+    stats
+  in
+  let no_phase2 = { iters = 0; pivs = 0; bland = false } in
+  if Q.sign t.obj < 0 then
+    Infeasible (record ~p1 ~p2:no_phase2 ~extra_pivots:0 ~outcome:`Infeasible)
   else begin
     (* Drive remaining artificials (basic at zero) out of the basis where
        possible; rows where it is not possible are redundant. *)
+    let driveout = ref 0 in
     for i = 0 to m - 1 do
       if t.basis.(i) >= n_struct + n_slack then begin
         let j = ref 0 in
@@ -266,7 +327,10 @@ let solve p =
           if not (Q.is_zero t.a.(i).(!j)) then found := !j;
           incr j
         done;
-        if !found >= 0 then pivot t i !found
+        if !found >= 0 then begin
+          pivot t i !found;
+          incr driveout
+        end
       end
     done;
     (* ---- phase 2 ---- *)
@@ -296,8 +360,9 @@ let solve p =
       end
     done;
     match run_simplex t ~n_enter:(n_struct + n_slack) with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
+    | `Unbounded, p2 ->
+        Unbounded (record ~p1 ~p2 ~extra_pivots:!driveout ~outcome:`Unbounded)
+    | `Optimal, p2 ->
         let internal = Array.make n_total Q.zero in
         for i = 0 to m - 1 do
           internal.(t.basis.(i)) <- t.b.(i)
@@ -317,5 +382,6 @@ let solve p =
           |> List.mapi (fun j v -> Q.mul p.objective.(j) v)
           |> List.fold_left Q.add Q.zero
         in
-        Optimal { objective = value; solution = x }
+        let stats = record ~p1 ~p2 ~extra_pivots:!driveout ~outcome:`Optimal in
+        Optimal { objective = value; solution = x; stats }
   end

@@ -22,10 +22,21 @@ type problem = {
   upper : Rat.t option array;  (** [None] = unbounded above *)
 }
 
+(** Solver effort for one [solve] call. Iterations count simplex loop
+    passes (each either pivots or proves optimality/unboundedness);
+    [pivots] additionally includes the basis repairs that drive leftover
+    artificial variables out between the phases. *)
+type stats = {
+  phase1_iterations : int;
+  phase2_iterations : int;  (** 0 when phase 1 proves infeasibility *)
+  pivots : int;
+  bland_switched : bool;  (** the anti-cycling rule had to engage *)
+}
+
 type result =
-  | Optimal of { objective : Rat.t; solution : Rat.t array }
-  | Infeasible
-  | Unbounded
+  | Optimal of { objective : Rat.t; solution : Rat.t array; stats : stats }
+  | Infeasible of stats
+  | Unbounded of stats
 
 (** Convenience constructor with all variables in [0, +inf). *)
 val problem :

@@ -15,6 +15,11 @@ type t = {
 exception Invalid of string
 exception Too_large of string
 
+let m_aug_steps = Ccs_obs.Metrics.counter "nfold.augmentation_steps"
+let m_kernel = Ccs_obs.Metrics.counter "nfold.kernel_candidates"
+let m_ilp_solves = Ccs_obs.Metrics.counter "nfold.ilp_solves"
+let h_lambda = Ccs_obs.Metrics.histogram "nfold.step_lambda"
+
 let validate p =
   let fail msg = raise (Invalid msg) in
   if p.r < 0 || p.s < 0 || p.t <= 0 || p.n <= 0 then fail "non-positive dimension";
@@ -141,6 +146,10 @@ let solve_ilp ?max_nodes ?(feasibility = false) p =
     done
   done;
   let lp = Lp.problem ~lower ~upper ~nvars:nv ~objective:obj_coeffs (List.rev !rows) in
+  Ccs_obs.Metrics.incr m_ilp_solves;
+  Ccs_obs.Span.with_ "nfold.solve_ilp"
+    ~fields:[ Ccs_obs.Log.int "nvars" nv; Ccs_obs.Log.int "bricks" p.n ]
+  @@ fun () ->
   match Ilp.solve ?max_nodes ~feasibility (Ilp.all_integer lp) with
   | Ilp.Infeasible -> `Infeasible
   | Ilp.Node_limit -> `Node_limit
@@ -197,6 +206,7 @@ let brick_candidates ~bmat ~s ~t ~norm ~lo ~hi =
     end
   in
   go 0;
+  Ccs_obs.Metrics.add m_kernel !count;
   !out
 
 module State = struct
@@ -279,6 +289,9 @@ let optimize ?(max_norm = 2) p x0 =
       max_lambda := max !max_lambda (p.upper.(i).(j) - p.lower.(i).(j))
     done
   done;
+  Ccs_obs.Span.with_ "nfold.optimize"
+    ~fields:[ Ccs_obs.Log.int "bricks" p.n; Ccs_obs.Log.int "t" p.t ]
+  @@ fun () ->
   let improved = ref true in
   while !improved do
     improved := false;
@@ -296,13 +309,19 @@ let optimize ?(max_norm = 2) p x0 =
       lambda := !lambda * 2
     done;
     match !best with
-    | Some (_, lam, g) ->
+    | Some (gain, lam, g) ->
         for i = 0 to p.n - 1 do
           for j = 0 to p.t - 1 do
             x.(i).(j) <- x.(i).(j) + (lam * g.(i).(j))
           done
         done;
         assert (check p x);
+        Ccs_obs.Metrics.incr m_aug_steps;
+        Ccs_obs.Metrics.observe h_lambda (float_of_int lam);
+        Ccs_obs.Log.debug (fun log ->
+            log
+              ~fields:[ Ccs_obs.Log.int "lambda" lam; Ccs_obs.Log.int "gain" gain ]
+              "nfold.augmentation_step");
         improved := true
     | None -> ()
   done;
@@ -315,6 +334,9 @@ let optimize ?(max_norm = 2) p x0 =
    frozen at zero) to keep a uniform brick size. *)
 let find_feasible ?(max_norm = 2) p =
   validate p;
+  Ccs_obs.Span.with_ "nfold.find_feasible"
+    ~fields:[ Ccs_obs.Log.int "bricks" p.n ]
+  @@ fun () ->
   let t' = p.t + p.r + p.s in
   (* residuals at x = lower *)
   let top_res = Array.copy p.rhs_top in

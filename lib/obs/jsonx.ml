@@ -1,0 +1,250 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | Str s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: recursive descent over a cursor. *)
+
+exception Malformed of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("bad literal, expected " ^ word)
+  in
+  let utf8_encode buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "truncated escape";
+           match s.[!pos] with
+           | '"' -> advance (); Buffer.add_char buf '"'
+           | '\\' -> advance (); Buffer.add_char buf '\\'
+           | '/' -> advance (); Buffer.add_char buf '/'
+           | 'b' -> advance (); Buffer.add_char buf '\b'
+           | 'f' -> advance (); Buffer.add_char buf '\012'
+           | 'n' -> advance (); Buffer.add_char buf '\n'
+           | 'r' -> advance (); Buffer.add_char buf '\r'
+           | 't' -> advance (); Buffer.add_char buf '\t'
+           | 'u' ->
+               advance ();
+               let cp = hex4 () in
+               (* surrogate pair *)
+               if cp >= 0xD800 && cp <= 0xDBFF && !pos + 6 <= n
+                  && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 if lo >= 0xDC00 && lo <= 0xDFFF then
+                   utf8_encode buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                 else begin
+                   utf8_encode buf cp;
+                   utf8_encode buf lo
+                 end
+               end
+               else utf8_encode buf cp
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+      | c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '+' | '-' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a value";
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let entry () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let items = ref [ entry () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := entry () :: !items;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !items)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Malformed (p, msg) -> Error (Printf.sprintf "at offset %d: %s" p msg)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

@@ -1,0 +1,94 @@
+type level = Error | Warn | Info | Debug | Trace
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type field = string * value
+
+let int k v = (k, Int v)
+let float k v = (k, Float v)
+let str k v = (k, Str v)
+let bool k v = (k, Bool v)
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3 | Trace -> 4
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+  | Trace -> "trace"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" | "none" | "quiet" -> Ok None
+  | "error" -> Ok (Some Error)
+  | "warn" | "warning" -> Ok (Some Warn)
+  | "info" -> Ok (Some Info)
+  | "debug" -> Ok (Some Debug)
+  | "trace" -> Ok (Some Trace)
+  | other ->
+      Error
+        (Printf.sprintf "unknown log level %S (off|error|warn|info|debug|trace)" other)
+
+let current = ref (Some Warn)
+
+let set_level l = current := l
+let level () = !current
+
+let enabled lvl =
+  match !current with None -> false | Some l -> severity lvl <= severity l
+
+type format = Text | Jsonl
+
+let fmt = ref Text
+let set_format f = fmt := f
+
+let default_output line =
+  output_string stderr line;
+  flush stderr
+
+let out = ref default_output
+let set_output f = out := f
+
+let start_time = Unix.gettimeofday ()
+let elapsed () = Unix.gettimeofday () -. start_time
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let value_to_json = function
+  | Int i -> Jsonx.Int i
+  | Float f -> Jsonx.Float f
+  | Str s -> Jsonx.Str s
+  | Bool b -> Jsonx.Bool b
+
+let emit lvl fields text =
+  let line =
+    match !fmt with
+    | Text ->
+        let kv =
+          List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (value_to_string v)) fields
+        in
+        Printf.sprintf "[%10.6f] %-5s %s%s\n" (elapsed ()) (level_to_string lvl) text
+          (String.concat "" kv)
+    | Jsonl ->
+        let obj =
+          ("ts", Jsonx.Float (elapsed ()))
+          :: ("level", Jsonx.Str (level_to_string lvl))
+          :: ("msg", Jsonx.Str text)
+          :: List.map (fun (k, v) -> (k, value_to_json v)) fields
+        in
+        Jsonx.to_string (Jsonx.Obj obj) ^ "\n"
+  in
+  !out line
+
+let msg lvl k = if enabled lvl then k (fun ?(fields = []) text -> emit lvl fields text)
+
+let err k = msg Error k
+let warn k = msg Warn k
+let info k = msg Info k
+let debug k = msg Debug k
+let trace k = msg Trace k

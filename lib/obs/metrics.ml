@@ -1,0 +1,140 @@
+type counter = { mutable count : int }
+type gauge = { mutable gval : float; mutable gset : bool }
+
+type histogram = {
+  mutable samples : float array;  (* filled prefix of length [len] *)
+  mutable len : int;
+}
+
+type entry = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register name make check =
+  match Hashtbl.find_opt registry name with
+  | Some e -> (
+      match check e with
+      | Some h -> h
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already a %s" name (kind_name e)))
+  | None ->
+      let h, e = make () in
+      Hashtbl.replace registry name e;
+      h
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { count = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { gval = 0.0; gset = false } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      let h = { samples = Array.make 16 0.0; len = 0 } in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let set_gauge g v =
+  g.gval <- v;
+  g.gset <- true
+
+let gauge_value g = if g.gset then Some g.gval else None
+
+let observe h x =
+  if h.len = Array.length h.samples then begin
+    let bigger = Array.make (2 * h.len) 0.0 in
+    Array.blit h.samples 0 bigger 0 h.len;
+    h.samples <- bigger
+  end;
+  h.samples.(h.len) <- x;
+  h.len <- h.len + 1
+
+let histogram_count h = h.len
+
+let filled h = Array.sub h.samples 0 h.len
+
+let histogram_percentile h p = Ccs_util.Stats.percentile (filled h) p
+let histogram_mean h = Ccs_util.Stats.mean (filled h)
+let histogram_max h = Ccs_util.Stats.maximum (filled h)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+          g.gval <- 0.0;
+          g.gset <- false
+      | Histogram h -> h.len <- 0)
+    registry
+
+let sorted_entries () =
+  Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f
+
+let dump_table () =
+  let t = Ccs_util.Tables.create [ "metric"; "kind"; "value"; "p50"; "p95"; "max" ] in
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | Counter c ->
+          Ccs_util.Tables.add_row t [ name; "counter"; string_of_int c.count; "-"; "-"; "-" ]
+      | Gauge g ->
+          let v = if g.gset then fnum g.gval else "unset" in
+          Ccs_util.Tables.add_row t [ name; "gauge"; v; "-"; "-"; "-" ]
+      | Histogram h ->
+          if h.len = 0 then
+            Ccs_util.Tables.add_row t [ name; "histogram"; "n=0"; "-"; "-"; "-" ]
+          else
+            Ccs_util.Tables.add_row t
+              [ name; "histogram";
+                Printf.sprintf "n=%d" h.len;
+                fnum (histogram_percentile h 50.0);
+                fnum (histogram_percentile h 95.0);
+                fnum (histogram_max h) ])
+    (sorted_entries ());
+  Ccs_util.Tables.render t
+
+let entry_json = function
+  | Counter c -> Jsonx.Int c.count
+  | Gauge g -> if g.gset then Jsonx.Float g.gval else Jsonx.Null
+  | Histogram h ->
+      if h.len = 0 then Jsonx.Obj [ ("count", Jsonx.Int 0) ]
+      else
+        Jsonx.Obj
+          [ ("count", Jsonx.Int h.len);
+            ("mean", Jsonx.Float (histogram_mean h));
+            ("p50", Jsonx.Float (histogram_percentile h 50.0));
+            ("p95", Jsonx.Float (histogram_percentile h 95.0));
+            ("max", Jsonx.Float (histogram_max h)) ]
+
+let active = function
+  | Counter c -> c.count <> 0
+  | Gauge g -> g.gset
+  | Histogram h -> h.len > 0
+
+let snapshot ?(all = false) () =
+  sorted_entries ()
+  |> List.filter_map (fun (name, e) ->
+         if all || active e then Some (name, entry_json e) else None)
+
+let dump_json () = Jsonx.Obj (snapshot ~all:true ())

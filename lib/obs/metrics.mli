@@ -1,0 +1,56 @@
+(** Process-wide metrics registry: named counters, gauges and histograms.
+
+    Handles are obtained once (typically at module initialization) and
+    updated with plain mutable-field writes, so the hot-path cost of an
+    increment is a couple of nanoseconds — no hashtable lookup, no
+    allocation. [dump_table]/[dump_json] render the whole registry;
+    [reset] zeroes every value but keeps the handles valid, which is what
+    the bench harness does between runs. *)
+
+type counter
+type gauge
+type histogram
+
+(** Find-or-create. Raises [Invalid_argument] if [name] is already
+    registered as a different kind. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set_gauge : gauge -> float -> unit
+
+(** [None] until the first [set_gauge]. *)
+val gauge_value : gauge -> float option
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+
+(** Nearest-rank percentile over the recorded samples (defers to
+    {!Ccs_util.Stats.percentile}); raises [Invalid_argument] when empty. *)
+val histogram_percentile : histogram -> float -> float
+
+val histogram_mean : histogram -> float
+val histogram_max : histogram -> float
+
+(** Zero all counters, unset all gauges, clear all histogram samples.
+    Registrations (and outstanding handles) survive. *)
+val reset : unit -> unit
+
+(** Plain-text table (via {!Ccs_util.Tables}) of every registered metric,
+    sorted by name: columns metric / kind / value / p50 / p95 / max. *)
+val dump_table : unit -> string
+
+(** One object keyed by metric name; counters as ints, gauges as floats
+    (or null), histograms as
+    [{"count":..,"mean":..,"p50":..,"p95":..,"max":..}]. *)
+val dump_json : unit -> Jsonx.t
+
+(** [(name, value)] pairs as in {!dump_json}. With [~all:false] (default)
+    only metrics that saw activity — nonzero counters, set gauges,
+    non-empty histograms — are included. *)
+val snapshot : ?all:bool -> unit -> (string * Jsonx.t) list

@@ -1,0 +1,98 @@
+type t = {
+  sname : string;
+  sfields : Log.field list;
+  sstart : float;  (* seconds since trace epoch *)
+  mutable sdur : float;
+  mutable rev_children : t list;
+}
+
+let name sp = sp.sname
+let start sp = sp.sstart
+let duration sp = sp.sdur
+let fields sp = sp.sfields
+let children sp = List.rev sp.rev_children
+
+let on = ref false
+let epoch = ref 0.0
+let stack : t list ref = ref []
+let rev_roots : t list ref = ref []
+let completed = ref 0
+
+let reset () =
+  stack := [];
+  rev_roots := [];
+  completed := 0
+
+let set_enabled b =
+  if b then begin
+    reset ();
+    epoch := Unix.gettimeofday ()
+  end;
+  on := b
+
+let enabled () = !on
+
+let with_ sname ?(fields = []) f =
+  if not !on then f ()
+  else begin
+    let sp =
+      {
+        sname;
+        sfields = fields;
+        sstart = Unix.gettimeofday () -. !epoch;
+        sdur = 0.0;
+        rev_children = [];
+      }
+    in
+    stack := sp :: !stack;
+    let finish () =
+      sp.sdur <- Unix.gettimeofday () -. !epoch -. sp.sstart;
+      (match !stack with
+      | top :: rest when top == sp -> stack := rest
+      | _ ->
+          (* A span escaped its dynamic extent (should be impossible with
+             with_-only usage); resynchronize by dropping to it. *)
+          let rec drop = function
+            | top :: rest when top == sp -> rest
+            | _ :: rest -> drop rest
+            | [] -> []
+          in
+          stack := drop !stack);
+      incr completed;
+      match !stack with
+      | parent :: _ -> parent.rev_children <- sp :: parent.rev_children
+      | [] -> rev_roots := sp :: !rev_roots
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let roots () = List.rev !rev_roots
+let count () = !completed
+
+let to_chrome_json () =
+  let micros s = Float.round (s *. 1e6) in
+  let events = ref [] in
+  let rec walk sp =
+    let args = List.map (fun (k, v) -> (k, Log.value_to_json v)) sp.sfields in
+    let ev =
+      Jsonx.Obj
+        ([
+           ("name", Jsonx.Str sp.sname);
+           ("ph", Jsonx.Str "X");
+           ("ts", Jsonx.Float (micros sp.sstart));
+           ("dur", Jsonx.Float (micros sp.sdur));
+           ("pid", Jsonx.Int 0);
+           ("tid", Jsonx.Int 0);
+         ]
+        @ if args = [] then [] else [ ("args", Jsonx.Obj args) ])
+    in
+    events := ev :: !events;
+    List.iter walk (children sp)
+  in
+  List.iter walk (roots ());
+  Jsonx.List (List.rev !events)
+
+let write_chrome_trace path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Jsonx.to_string (to_chrome_json ()));
+      Out_channel.output_char oc '\n')

@@ -1,0 +1,49 @@
+(** Solver-phase tracing: nested wall-clock spans.
+
+    Disabled by default — [with_] then just calls its thunk (one branch of
+    overhead). When enabled, completed spans accumulate into an in-process
+    tree that can be inspected programmatically or exported in the Chrome
+    trace-event format ([chrome://tracing], Perfetto, or plain [jq]). *)
+
+type t
+
+val name : t -> string
+
+(** Seconds since {!set_enabled}[ true] at which the span started. *)
+val start : t -> float
+
+(** Wall-clock duration in seconds. *)
+val duration : t -> float
+
+val fields : t -> Log.field list
+
+(** Completed children, in execution order. *)
+val children : t -> t list
+
+(** Enabling (re)starts a fresh trace; disabling keeps the collected spans
+    readable. Default: disabled. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** Drop all collected spans (the trace epoch is kept). *)
+val reset : unit -> unit
+
+(** [with_ "ptas.binary_search" ~fields f] runs [f ()] inside a span.
+    The span is recorded even when [f] raises. Nesting follows the dynamic
+    call structure. *)
+val with_ : string -> ?fields:Log.field list -> (unit -> 'a) -> 'a
+
+(** Completed top-level spans, in completion order. Spans still open (an
+    enclosing [with_] has not returned yet) are not included. *)
+val roots : unit -> t list
+
+(** Flat array of Chrome trace-event objects (["ph":"X"] complete events,
+    microsecond [ts]/[dur], span fields under ["args"]). *)
+val to_chrome_json : unit -> Jsonx.t
+
+(** [write_chrome_trace path] dumps {!to_chrome_json} to [path]. *)
+val write_chrome_trace : string -> unit
+
+(** Total number of completed spans in the current trace. *)
+val count : unit -> int

@@ -35,8 +35,8 @@ let round ~sizes ~machines ~allowed ~cap =
       ~objective:(Array.make !nv Q.zero) (List.rev !rows)
   in
   match Lp.solve lp with
-  | Lp.Infeasible -> None
-  | Lp.Unbounded -> assert false
+  | Lp.Infeasible _ -> None
+  | Lp.Unbounded _ -> assert false
   | Lp.Optimal { solution; _ } ->
       let assignment = Array.make nparts (-1) in
       let fractional = ref [] in

@@ -8,11 +8,22 @@ let q = Alcotest.testable Q.pp Q.equal
 let qi = Q.of_int
 let qr = Q.of_ints
 
+(* Every solve's stats must be internally consistent: simplex cannot pivot
+   more often than it iterates, and iteration counts are positive. *)
+let check_stats (s : Lp.stats) =
+  Alcotest.(check bool) "phase1 iterations >= 1" true (s.Lp.phase1_iterations >= 1);
+  Alcotest.(check bool) "phase2 iterations >= 0" true (s.Lp.phase2_iterations >= 0);
+  Alcotest.(check bool) "pivots >= 0" true (s.Lp.pivots >= 0);
+  Alcotest.(check bool) "pivots bounded by iterations + rows" true
+    (s.Lp.pivots <= s.Lp.phase1_iterations + s.Lp.phase2_iterations + 1000)
+
 let solve_opt p =
   match Lp.solve p with
-  | Lp.Optimal { objective; solution } -> (objective, solution)
-  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
-  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Optimal { objective; solution; stats } ->
+      check_stats stats;
+      (objective, solution)
+  | Lp.Infeasible _ -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded _ -> Alcotest.fail "unexpected unbounded"
 
 let test_textbook_max () =
   (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => opt 36 at (2,6). *)
@@ -45,13 +56,15 @@ let test_infeasible () =
       [ Lp.constr [ (0, Q.one) ] Lp.Ge (qi 5); Lp.constr [ (0, Q.one) ] Lp.Le (qi 2) ]
   in
   (match Lp.solve p with
-  | Lp.Infeasible -> ()
+  | Lp.Infeasible stats ->
+      Alcotest.(check bool) "phase1 ran" true (stats.Lp.phase1_iterations >= 1);
+      Alcotest.(check int) "no phase 2" 0 stats.Lp.phase2_iterations
   | _ -> Alcotest.fail "expected infeasible")
 
 let test_unbounded () =
   let p = Lp.problem ~nvars:1 ~objective:[| qi (-1) |] [] in
   match Lp.solve p with
-  | Lp.Unbounded -> ()
+  | Lp.Unbounded stats -> check_stats stats
   | _ -> Alcotest.fail "expected unbounded"
 
 let test_bounds () =
@@ -122,12 +135,14 @@ let prop_random_lps =
       let upper = Array.make nvars (Some (qi 10)) in
       let p = Lp.problem ~upper ~nvars ~objective rows in
       match Lp.solve p with
-      | Lp.Unbounded -> false (* impossible: box is bounded *)
-      | Lp.Infeasible ->
+      | Lp.Unbounded _ -> false (* impossible: box is bounded *)
+      | Lp.Infeasible _ ->
           (* origin is feasible iff all rhs >= 0; rhs were drawn >= 0, so
              infeasibility would be a bug *)
           false
-      | Lp.Optimal { objective = obj; solution } ->
+      | Lp.Optimal { objective = obj; solution; stats } ->
+          stats.Lp.pivots >= 0
+          &&
           Lp.feasible p solution
           &&
           (* grid sampling: integer points in [0,10]^nvars *)

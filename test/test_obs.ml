@@ -1,0 +1,267 @@
+(* Ccs_obs tests: level filtering (including the zero-cost guarantee that
+   filtered closures never run), JSONL well-formedness, span nesting and
+   timing, metrics registry semantics, and the Jsonx printer/parser pair. *)
+
+module Log = Ccs_obs.Log
+module Span = Ccs_obs.Span
+module Metrics = Ccs_obs.Metrics
+module Jsonx = Ccs_obs.Jsonx
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let with_captured_log ?(level = Some Log.Debug) ?(format = Log.Text) f =
+  let buf = Buffer.create 256 in
+  Log.set_output (Buffer.add_string buf);
+  Log.set_format format;
+  Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level (Some Log.Warn);
+      Log.set_format Log.Text;
+      Log.set_output prerr_string)
+    (fun () ->
+      f ();
+      Buffer.contents buf)
+
+(* ---------- logging ---------- *)
+
+let test_level_filtering () =
+  let ran = ref false in
+  let out =
+    with_captured_log ~level:(Some Log.Warn) (fun () ->
+        Log.debug (fun m ->
+            ran := true;
+            m "invisible");
+        Log.warn (fun m -> m "visible"))
+  in
+  Alcotest.(check bool) "filtered closure never invoked" false !ran;
+  Alcotest.(check bool) "warn line present" true (contains ~needle:"visible" out)
+
+let test_level_off () =
+  let out =
+    with_captured_log ~level:None (fun () -> Log.err (fun m -> m "nothing"))
+  in
+  Alcotest.(check string) "no output when off" "" out
+
+let test_level_of_string () =
+  (match Log.level_of_string "DEBUG" with
+  | Ok (Some Log.Debug) -> ()
+  | _ -> Alcotest.fail "DEBUG should parse");
+  (match Log.level_of_string "off" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "off should parse to None");
+  match Log.level_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus should be rejected"
+
+let test_jsonl_well_formed () =
+  let out =
+    with_captured_log ~format:Log.Jsonl (fun () ->
+        Log.info (fun m ->
+            m
+              ~fields:
+                [ Log.int "pivots" 42; Log.str "algo" "ptas\"quoted\"";
+                  Log.bool "ok" true; Log.float "t" 1.5 ]
+              "solve done"))
+  in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one line" 1 (List.length lines);
+  match Jsonx.of_string (List.hd lines) with
+  | Error e -> Alcotest.fail ("JSONL line does not parse: " ^ e)
+  | Ok j ->
+      (match Jsonx.member "msg" j with
+      | Some (Jsonx.Str s) -> Alcotest.(check string) "msg" "solve done" s
+      | _ -> Alcotest.fail "missing msg");
+      (match Jsonx.member "pivots" j with
+      | Some (Jsonx.Int 42) -> ()
+      | _ -> Alcotest.fail "missing pivots field");
+      (match Jsonx.member "algo" j with
+      | Some (Jsonx.Str s) -> Alcotest.(check string) "escaping survives" "ptas\"quoted\"" s
+      | _ -> Alcotest.fail "missing algo field");
+      (match Jsonx.member "level" j with
+      | Some (Jsonx.Str "info") -> ()
+      | _ -> Alcotest.fail "missing level")
+
+(* ---------- spans ---------- *)
+
+let test_span_disabled_passthrough () =
+  Span.set_enabled false;
+  let r = Span.with_ "x" (fun () -> 7) in
+  Alcotest.(check int) "value passes through" 7 r;
+  Alcotest.(check int) "nothing recorded" 0 (Span.count ())
+
+let test_span_nesting_and_timing () =
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      let r =
+        Span.with_ "outer" ~fields:[ Log.int "n" 3 ] (fun () ->
+            ignore (Span.with_ "inner1" (fun () -> Unix.sleepf 0.002; 1));
+            ignore (Span.with_ "inner2" (fun () -> 2));
+            42)
+      in
+      Alcotest.(check int) "result" 42 r;
+      Alcotest.(check int) "three spans" 3 (Span.count ());
+      match Span.roots () with
+      | [ outer ] ->
+          Alcotest.(check string) "root name" "outer" (Span.name outer);
+          let kids = Span.children outer in
+          Alcotest.(check (list string)) "children in order" [ "inner1"; "inner2" ]
+            (List.map Span.name kids);
+          let i1 = List.nth kids 0 and i2 = List.nth kids 1 in
+          Alcotest.(check bool) "durations non-negative" true
+            (List.for_all (fun s -> Span.duration s >= 0.0) [ outer; i1; i2 ]);
+          Alcotest.(check bool) "inner1 took measurable time" true
+            (Span.duration i1 > 0.0);
+          Alcotest.(check bool) "children start after parent" true
+            (Span.start i1 >= Span.start outer && Span.start i2 >= Span.start i1);
+          Alcotest.(check bool) "parent spans its children" true
+            (Span.duration outer
+            >= Span.start i2 +. Span.duration i2 -. Span.start outer -. 1e-9)
+      | roots ->
+          Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length roots)))
+
+let test_span_records_on_raise () =
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      (try Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "span recorded despite raise" 1 (Span.count ()))
+
+let test_chrome_trace_shape () =
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      Span.with_ "a" ~fields:[ Log.int "k" 1 ] (fun () ->
+          Span.with_ "b" (fun () -> ()));
+      match Span.to_chrome_json () with
+      | Jsonx.List events ->
+          Alcotest.(check int) "two events" 2 (List.length events);
+          List.iter
+            (fun e ->
+              (match Jsonx.member "ph" e with
+              | Some (Jsonx.Str "X") -> ()
+              | _ -> Alcotest.fail "ph must be X");
+              let microseconds = function
+                | Some (Jsonx.Int v) -> float_of_int v
+                | Some (Jsonx.Float v) ->
+                    Alcotest.(check bool) "micros are integral" true (Float.is_integer v);
+                    v
+                | _ -> Alcotest.fail "ts/dur must be numbers"
+              in
+              let ts = microseconds (Jsonx.member "ts" e)
+              and dur = microseconds (Jsonx.member "dur" e) in
+              Alcotest.(check bool) "ts/dur sane" true (ts >= 0.0 && dur >= 0.0))
+            events
+      | _ -> Alcotest.fail "chrome trace must be a flat list")
+
+(* ---------- metrics ---------- *)
+
+let test_counters_and_reset () =
+  let c = Metrics.counter "test.counter" in
+  Metrics.reset ();
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "count" 5 (Metrics.counter_value c);
+  Alcotest.(check bool) "same handle on re-lookup" true
+    (Metrics.counter "test.counter" == c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, handle survives" 0 (Metrics.counter_value c)
+
+let test_kind_mismatch () =
+  ignore (Metrics.counter "test.kind");
+  Alcotest.check_raises "re-registering as gauge fails"
+    (Invalid_argument "Metrics: \"test.kind\" is already a counter") (fun () ->
+      ignore (Metrics.gauge "test.kind"))
+
+let test_histogram_vs_stats () =
+  let h = Metrics.histogram "test.histo" in
+  Metrics.reset ();
+  let samples = Array.init 101 (fun i -> float_of_int ((i * 37) mod 101)) in
+  Array.iter (Metrics.observe h) samples;
+  Alcotest.(check int) "count" 101 (Metrics.histogram_count h);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g matches Util.Stats" p)
+        (Ccs_util.Stats.percentile samples p)
+        (Metrics.histogram_percentile h p))
+    [ 0.0; 50.0; 95.0; 100.0 ];
+  Alcotest.(check (float 1e-9)) "mean" (Ccs_util.Stats.mean samples)
+    (Metrics.histogram_mean h);
+  Alcotest.(check (float 1e-9)) "max" (Ccs_util.Stats.maximum samples)
+    (Metrics.histogram_max h)
+
+let test_snapshot_active_only () =
+  let c = Metrics.counter "test.active" in
+  ignore (Metrics.counter "test.inactive");
+  Metrics.reset ();
+  Metrics.incr c;
+  let names = List.map fst (Metrics.snapshot ()) in
+  Alcotest.(check bool) "active included" true (List.mem "test.active" names);
+  Alcotest.(check bool) "inactive excluded" false (List.mem "test.inactive" names);
+  let all_names = List.map fst (Metrics.snapshot ~all:true ()) in
+  Alcotest.(check bool) "all includes inactive" true (List.mem "test.inactive" all_names)
+
+(* ---------- jsonx ---------- *)
+
+let test_jsonx_roundtrip () =
+  let j =
+    Jsonx.Obj
+      [ ("s", Jsonx.Str "a\"b\\c\nd\t\xe2\x82\xac");
+        ("i", Jsonx.Int (-42));
+        ("f", Jsonx.Float 1.25);
+        ("b", Jsonx.Bool true);
+        ("n", Jsonx.Null);
+        ("l", Jsonx.List [ Jsonx.Int 1; Jsonx.Int 2 ]) ]
+  in
+  match Jsonx.of_string (Jsonx.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+  | Error e -> Alcotest.fail ("roundtrip parse failed: " ^ e)
+
+let test_jsonx_unicode_escape () =
+  match Jsonx.of_string {|{"s":"é😀"}|} with
+  | Ok j -> (
+      match Jsonx.member "s" j with
+      | Some (Jsonx.Str s) ->
+          Alcotest.(check string) "utf8 decoding" "\xc3\xa9\xf0\x9f\x98\x80" s
+      | _ -> Alcotest.fail "missing s")
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_jsonx_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
+    [ "{"; "[1,]"; "nul"; "\"unterminated"; "{\"a\":1}x" ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "log",
+        [ Alcotest.test_case "level filtering" `Quick test_level_filtering;
+          Alcotest.test_case "off" `Quick test_level_off;
+          Alcotest.test_case "level_of_string" `Quick test_level_of_string;
+          Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_well_formed ] );
+      ( "span",
+        [ Alcotest.test_case "disabled passthrough" `Quick test_span_disabled_passthrough;
+          Alcotest.test_case "nesting + timing" `Quick test_span_nesting_and_timing;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise;
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters + reset" `Quick test_counters_and_reset;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram vs Util.Stats" `Quick test_histogram_vs_stats;
+          Alcotest.test_case "snapshot active-only" `Quick test_snapshot_active_only ] );
+      ( "jsonx",
+        [ Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_jsonx_unicode_escape;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonx_rejects_garbage ] ) ]
