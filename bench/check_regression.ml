@@ -1,0 +1,166 @@
+(* Bench regression gate: time a small fixed sweep of solver phases and
+   compare against the committed BENCH_baseline.json.
+
+     dune exec bench/check_regression.exe              # compare, exit 1 on regression
+     dune exec bench/check_regression.exe -- --update  # rewrite the baseline
+
+   Each phase is timed as the minimum wall clock over a few repetitions
+   (minimum, not mean: noise only adds time). Raw walls are not comparable
+   across machines, so the baseline also records a fixed pure-OCaml
+   calibration workload; at comparison time every baseline wall is scaled
+   by calibration_now / calibration_baseline, which cancels machine speed
+   to first order. A phase regresses when its scaled wall exceeds
+   baseline * (1 + tolerance); the tolerance defaults to 0.25 and can be
+   widened for noisy runners via CCS_BENCH_TOLERANCE (e.g.
+   CCS_BENCH_TOLERANCE=1.5 on shared CI machines). *)
+
+module J = Ccs_obs.Jsonx
+
+let baseline_path = "BENCH_baseline.json"
+let reps = 3
+
+let tolerance =
+  match Sys.getenv_opt "CCS_BENCH_TOLERANCE" with
+  | None -> 0.25
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> t
+      | _ ->
+          Printf.eprintf "bad CCS_BENCH_TOLERANCE %S (want a positive float)\n" s;
+          exit 2)
+
+let instance ~seed ~n ~classes ~machines ~slots =
+  Ccs.Generator.generate ~seed
+    { Ccs.Generator.n; classes; machines; slots; p_lo = 1; p_hi = 1000;
+      family = Ccs.Generator.Uniform }
+
+(* The E5 shape, sized so every phase takes a few milliseconds at least —
+   sub-millisecond phases would drown a 25% gate in scheduler noise — while
+   the whole gate still runs in seconds. The approximation algorithms repeat
+   their solve inside the phase for the same reason. *)
+let phases =
+  let approx = instance ~seed:(400 * 7919) ~n:4000 ~classes:800 ~machines:400 ~slots:3 in
+  let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
+  let param = Ccs.Ptas.Common.param 1 in
+  let times k f () = for _ = 1 to k do f () done in
+  [ ("approx_splittable", times 10 (fun () -> ignore (Ccs.Approx.Splittable.solve approx)));
+    ("approx_preemptive", times 10 (fun () -> ignore (Ccs.Approx.Preemptive.solve approx)));
+    ("approx_nonpreemptive",
+     times 10 (fun () -> ignore (Ccs.Approx.Nonpreemptive.solve approx)));
+    ("ptas_splittable", fun () -> ignore (Ccs.Ptas.Splittable_ptas.solve param small));
+    ("ptas_nonpreemptive",
+     times 5 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
+  ]
+
+let time_phase f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+(* A workload touching the same machinery the solvers lean on (rational
+   arithmetic, hence allocation and bigint work) but independent of any
+   code under test, used to cancel out raw machine speed. *)
+let calibrate () =
+  time_phase (fun () ->
+      (* overwritten every iteration so numerators stay small — a running
+         sum would grow its denominator without bound *)
+      let acc = ref Rat.zero in
+      for i = 1 to 200_000 do
+        let x = Rat.of_ints (1 + (i mod 97)) (1 + (i mod 89)) in
+        let y = Rat.of_ints (1 + (i mod 83)) (1 + (i mod 79)) in
+        acc := Rat.add (Rat.mul x y) (Rat.div x y)
+      done;
+      ignore !acc)
+
+let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
+
+let write_baseline () =
+  let cal = calibrate () in
+  let walls = measure () in
+  let json =
+    J.Obj
+      [ ("calibration_s", J.Float cal);
+        ("phases", J.Obj (List.map (fun (n, w) -> (n, J.Float w)) walls)) ]
+  in
+  Out_channel.with_open_text baseline_path (fun oc ->
+      Out_channel.output_string oc (J.to_string json);
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s (%d phases, calibration %.4fs)\n" baseline_path
+    (List.length walls) cal
+
+let number = function
+  | J.Float w -> Some w
+  | J.Int w -> Some (float_of_int w)
+  | _ -> None
+
+let read_baseline () =
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.eprintf "no %s — run with --update to create it\n" baseline_path;
+    exit 2
+  end;
+  let text = In_channel.with_open_text baseline_path In_channel.input_all in
+  match J.of_string text with
+  | Error e ->
+      Printf.eprintf "%s: parse error: %s\n" baseline_path e;
+      exit 2
+  | Ok json -> (
+      let cal =
+        match Option.bind (J.member "calibration_s" json) number with
+        | Some c when c > 0.0 -> c
+        | _ ->
+            Printf.eprintf "%s: missing \"calibration_s\"\n" baseline_path;
+            exit 2
+      in
+      match J.member "phases" json with
+      | Some (J.Obj kvs) ->
+          (cal, List.filter_map (fun (k, v) -> Option.map (fun w -> (k, w)) (number v)) kvs)
+      | _ ->
+          Printf.eprintf "%s: missing \"phases\" object\n" baseline_path;
+          exit 2)
+
+let compare_runs () =
+  let base_cal, base = read_baseline () in
+  let cal = calibrate () in
+  let scale = cal /. base_cal in
+  let current = measure () in
+  let regressed = ref [] in
+  Printf.printf "machine speed vs baseline: %.2fx (calibration %.4fs vs %.4fs)\n" scale cal
+    base_cal;
+  Printf.printf "%-22s %12s %12s %9s\n" "phase" "expected" "current" "delta";
+  List.iter
+    (fun (name, wall) ->
+      match List.assoc_opt name base with
+      | None -> Printf.printf "%-22s %12s %10.4fs %9s\n" name "(new)" wall "-"
+      | Some b ->
+          let expected = b *. scale in
+          let delta = (wall -. expected) /. expected in
+          let flag = if delta > tolerance then " REGRESSED" else "" in
+          if delta > tolerance then regressed := name :: !regressed;
+          Printf.printf "%-22s %10.4fs %10.4fs %+8.1f%%%s\n" name expected wall
+            (100.0 *. delta) flag)
+    current;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name current) then
+        Printf.printf "%-22s (phase no longer measured)\n" name)
+    base;
+  if !regressed = [] then
+    Printf.printf "ok: no phase regressed by more than %.0f%%\n" (100.0 *. tolerance)
+  else begin
+    Printf.printf "FAIL: %d phase(s) regressed by more than %.0f%%: %s\n"
+      (List.length !regressed) (100.0 *. tolerance)
+      (String.concat ", " (List.rev !regressed));
+    exit 1
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "--update" ] -> write_baseline ()
+  | _ :: [] -> compare_runs ()
+  | _ ->
+      Printf.eprintf "usage: check_regression [--update]\n";
+      exit 2

@@ -13,8 +13,12 @@ module Q = Rat
 module U = Bench_util
 module T = Ccs_util.Tables
 
+(* Instances within a delta row are independent, so each row fans its pool
+   out with Ccs_par.parallel_map and folds the per-instance results back in
+   input order — every aggregate (mean included, a sequential float sum) is
+   bit-identical at any -j. *)
 let pool ~count ~max_n ~max_m seed0 =
-  List.init count (fun i ->
+  Array.init count (fun i ->
       let seed = seed0 + (i * 101) in
       let rng = Ccs_util.Prng.create seed in
       let machines = Ccs_util.Prng.int_in rng 2 max_m in
@@ -31,24 +35,34 @@ let e6 () =
     (fun d ->
       let p = Ccs.Ptas.Common.param d in
       let ratios = ref [] and vars = ref [] and ok_t = ref true in
-      let (), elapsed =
+      let results, elapsed =
         U.time (fun () ->
-            List.iter
+            Ccs_par.parallel_map
               (fun inst ->
                 match Ccs_exact.Splittable_opt.solve ~max_nodes:400 inst with
-                | None -> ()
+                | None -> None
                 | Some opt ->
                     let sched, stats = Ccs.Ptas.Splittable_ptas.solve p inst in
-                    (match Ccs.Schedule.validate_splittable inst sched with
-                    | Error e -> failwith ("E6: " ^ e)
-                    | Ok mk -> ratios := Q.to_float mk /. Q.to_float opt :: !ratios);
-                    vars := float_of_int stats.Ccs.Ptas.Splittable_ptas.ilp_vars :: !vars;
-                    if
+                    let ratio =
+                      match Ccs.Schedule.validate_splittable inst sched with
+                      | Error e -> failwith ("E6: " ^ e)
+                      | Ok mk -> Q.to_float mk /. Q.to_float opt
+                    in
+                    let t_ok =
                       Q.(stats.Ccs.Ptas.Splittable_ptas.t_accepted
-                         > Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) opt)
-                    then ok_t := false)
+                         <= Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) opt)
+                    in
+                    Some (ratio, float_of_int stats.Ccs.Ptas.Splittable_ptas.ilp_vars, t_ok))
               instances)
       in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (r, v, t_ok) ->
+              ratios := r :: !ratios;
+              vars := v :: !vars;
+              if not t_ok then ok_t := false)
+        results;
       let mx, mean = U.summarize !ratios in
       let _, mean_vars = U.summarize !vars in
       T.add_row table
@@ -87,27 +101,38 @@ let e7 () =
     (fun d ->
       let p = Ccs.Ptas.Common.param d in
       let ratios = ref [] and vs73 = ref [] and ok_t = ref true in
-      let (), elapsed =
+      let results, elapsed =
         U.time (fun () ->
-            List.iter
+            Ccs_par.parallel_map
               (fun inst ->
                 match Ccs_exact.Bnb.solve inst with
-                | None -> ()
+                | None -> None
                 | Some (opt, _) ->
                     let sched, stats = Ccs.Ptas.Nonpreemptive_ptas.solve p inst in
-                    (match Ccs.Schedule.validate_nonpreemptive inst sched with
-                    | Error e -> failwith ("E7: " ^ e)
-                    | Ok mk ->
-                        ratios := float_of_int mk /. float_of_int opt :: !ratios;
-                        let approx, _ = Ccs.Approx.Nonpreemptive.solve inst in
-                        let amk = Ccs.Schedule.nonpreemptive_makespan inst approx in
-                        vs73 := float_of_int mk /. float_of_int amk :: !vs73);
-                    if
+                    let row =
+                      match Ccs.Schedule.validate_nonpreemptive inst sched with
+                      | Error e -> failwith ("E7: " ^ e)
+                      | Ok mk ->
+                          let approx, _ = Ccs.Approx.Nonpreemptive.solve inst in
+                          let amk = Ccs.Schedule.nonpreemptive_makespan inst approx in
+                          ( float_of_int mk /. float_of_int opt,
+                            float_of_int mk /. float_of_int amk )
+                    in
+                    let t_ok =
                       Q.(stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted
-                         > Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) (Q.of_int opt))
-                    then ok_t := false)
+                         <= Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) (Q.of_int opt))
+                    in
+                    Some (row, t_ok))
               instances)
       in
+      Array.iter
+        (function
+          | None -> ()
+          | Some ((r, v), t_ok) ->
+              ratios := r :: !ratios;
+              vs73 := v :: !vs73;
+              if not t_ok then ok_t := false)
+        results;
       let mx, mean = U.summarize !ratios in
       let _, mean73 = U.summarize !vs73 in
       T.add_row table
@@ -130,9 +155,9 @@ let e8 () =
     (fun d ->
       let p = Ccs.Ptas.Common.param d in
       let ratios = ref [] and failures = ref 0 and layers = ref 0 in
-      let (), elapsed =
+      let results, elapsed =
         U.time (fun () ->
-            List.iter
+            Ccs_par.parallel_map
               (fun inst ->
                 (* true preemptive optimum (open-shop reduction), falling
                    back to the strongest lower bound if out of budget *)
@@ -146,13 +171,22 @@ let e8 () =
                 in
                 try
                   let sched, stats = Ccs.Ptas.Preemptive_ptas.solve p inst in
-                  layers := max !layers stats.Ccs.Ptas.Preemptive_ptas.layers;
                   match Ccs.Schedule.validate_preemptive inst sched with
                   | Error e -> failwith ("E8: " ^ e)
-                  | Ok mk -> ratios := Q.to_float mk /. Q.to_float lb :: !ratios
-                with Failure _ -> incr failures)
+                  | Ok mk ->
+                      `Solved
+                        ( stats.Ccs.Ptas.Preemptive_ptas.layers,
+                          Q.to_float mk /. Q.to_float lb )
+                with Failure _ -> `Failed)
               instances)
       in
+      Array.iter
+        (function
+          | `Failed -> incr failures
+          | `Solved (l, r) ->
+              layers := max !layers l;
+              ratios := r :: !ratios)
+        results;
       let mx, mean = U.summarize !ratios in
       T.add_row table
         [ Printf.sprintf "1/%d" d; string_of_int !layers; U.f4 mean; U.f4 mx;

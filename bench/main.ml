@@ -2,11 +2,13 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- E1 F5   # selected experiments
+     dune exec bench/main.exe -- -j 4 E6 # parallel repetitions on 4 domains
 
    Experiment ids: E1-E9 (theorem reproductions), A1-A2 (ablations; A2 also
    covers A3), X1 (the Section 5 extension), F1-F5 (the paper's
    illustrative figures). See DESIGN.md section 3 for the index and
-   EXPERIMENTS.md for recorded results. *)
+   EXPERIMENTS.md for recorded results. Tables are deterministic at any -j
+   (per-instance results are gathered in input order). *)
 
 let experiments =
   [ ("E1", Exp_approx.e1); ("E2", Exp_approx.e2); ("E3", Exp_approx.e3);
@@ -18,10 +20,27 @@ let experiments =
     ("F5", Exp_figures.f5) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_jobs acc = function
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            Ccs_par.set_jobs j;
+            split_jobs acc rest
+        | _ ->
+            Printf.eprintf "bad -j value %S (want an integer >= 1)\n" n;
+            exit 1)
+    | ("-j" | "--jobs") :: [] ->
+        Printf.eprintf "-j needs a value\n";
+        exit 1
+    | id :: rest -> split_jobs (id :: acc) rest
+    | [] -> List.rev acc
+  in
+  let ids = split_jobs [] args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> List.map String.uppercase_ascii ids
-    | _ -> List.map fst experiments
+    match ids with
+    | _ :: _ -> List.map String.uppercase_ascii ids
+    | [] -> List.map fst experiments
   in
   let unknown = List.filter (fun id -> not (List.mem_assoc id experiments)) requested in
   if unknown <> [] then begin

@@ -1,5 +1,9 @@
-(* Solver CLI: read an instance, run a chosen algorithm, print and validate
-   the schedule. Every algorithm of the paper is reachable from here. *)
+(* Solver CLI: read one or more instances, run a chosen algorithm, print and
+   validate the schedules. Every algorithm of the paper is reachable from
+   here. With --jobs N the instances are solved as a parallel batch on a
+   Ccs_par pool (which the in-solver probe loops share); each instance's
+   output is buffered and flushed in input order, so the bytes printed are
+   identical at any job count. *)
 
 open Cmdliner
 module Q = Rat
@@ -32,7 +36,7 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let print_nonpreemptive inst assignment =
+let print_nonpreemptive buf inst assignment =
   let machines = Hashtbl.create 16 in
   Array.iteri
     (fun j mi ->
@@ -43,47 +47,48 @@ let print_nonpreemptive inst assignment =
   |> List.sort compare
   |> List.iter (fun (mi, jobs) ->
          let load = List.fold_left (fun acc j -> acc + (Ccs.Instance.job inst j).Ccs.Instance.p) 0 jobs in
-         Printf.printf "machine %d (load %d): %s\n" mi load
+         Printf.bprintf buf "machine %d (load %d): %s\n" mi load
            (String.concat " " (List.rev_map (fun j -> Printf.sprintf "j%d" j) jobs)))
 
-let print_splittable sched =
+let print_splittable buf sched =
   List.iter
     (fun b ->
-      Printf.printf "machines %d..%d: class %d, %s each\n" b.Ccs.Schedule.m_start
+      Printf.bprintf buf "machines %d..%d: class %d, %s each\n" b.Ccs.Schedule.m_start
         (b.Ccs.Schedule.m_start + b.Ccs.Schedule.m_count - 1)
         b.Ccs.Schedule.cls
         (Q.to_string b.Ccs.Schedule.per_machine))
     sched.Ccs.Schedule.blocks;
   List.iter
     (fun (mi, loads) ->
-      Printf.printf "machine %d: %s\n" mi
+      Printf.bprintf buf "machine %d: %s\n" mi
         (String.concat ", "
            (List.map (fun (u, l) -> Printf.sprintf "class %d: %s" u (Q.to_string l)) loads)))
     sched.Ccs.Schedule.explicit_machines
 
-let print_preemptive sched =
+let print_preemptive buf sched =
   Array.iteri
     (fun mi pieces ->
       if pieces <> [] then begin
-        Printf.printf "machine %d:" mi;
+        Printf.bprintf buf "machine %d:" mi;
         List.iter
           (fun pc ->
-            Printf.printf " j%d@[%s,%s)" pc.Ccs.Schedule.pjob
+            Printf.bprintf buf " j%d@[%s,%s)" pc.Ccs.Schedule.pjob
               (Q.to_string pc.Ccs.Schedule.start)
               (Q.to_string (Q.add pc.Ccs.Schedule.start pc.Ccs.Schedule.len)))
           pieces;
-        print_newline ()
+        Buffer.add_char buf '\n'
       end)
     sched
 
-let run file variant algo epsilon quiet obs =
-  Obs_cli.with_reporting obs @@ fun () ->
+(* Solve one instance, accumulating stdout/stderr text into the buffers.
+   Returns the exit code. *)
+let solve_one ~out ~err file variant algo epsilon quiet =
   match Ccs.Io.load file with
   | Error e ->
-      Printf.eprintf "error: %s\n" e;
+      Printf.bprintf err "error: %s\n" e;
       1
   | Ok inst -> (
-      Printf.printf "instance: n=%d m=%d c=%d C=%d\n" (Ccs.Instance.n inst)
+      Printf.bprintf out "instance: n=%d m=%d c=%d C=%d\n" (Ccs.Instance.n inst)
         (Ccs.Instance.m inst) (Ccs.Instance.c inst) (Ccs.Instance.num_classes inst);
       let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
       let param = Ccs.Ptas.Common.param d in
@@ -92,70 +97,104 @@ let run file variant algo epsilon quiet obs =
         | Splittable, Approx ->
             let sched, stats = Ccs.Approx.Splittable.solve inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_splittable inst sched) in
-            Printf.printf "splittable 2-approx: makespan %s (guess T=%s, <= 2T)\n"
+            Printf.bprintf out "splittable 2-approx: makespan %s (guess T=%s, <= 2T)\n"
               (Q.to_string mk) (Q.to_string stats.Ccs.Approx.Splittable.t_guess);
-            if not quiet then print_splittable sched
+            if not quiet then print_splittable out sched
         | Splittable, Ptas ->
             let sched, stats = Ccs.Ptas.Splittable_ptas.solve param inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_splittable inst sched) in
-            Printf.printf "splittable PTAS (delta=1/%d): makespan %s (accepted T=%s)\n" d
+            Printf.bprintf out "splittable PTAS (delta=1/%d): makespan %s (accepted T=%s)\n" d
               (Q.to_string mk) (Q.to_string stats.Ccs.Ptas.Splittable_ptas.t_accepted);
-            if not quiet then print_splittable sched
+            if not quiet then print_splittable out sched
         | Splittable, Exact -> (
             match Ccs_exact.Splittable_opt.solve_schedule inst with
             | Some (opt, sched) ->
-                Printf.printf "splittable exact optimum: %s\n" (Q.to_string opt);
-                if not quiet then print_splittable sched
-            | None -> Printf.printf "exact solver out of budget or instance too large\n")
+                Printf.bprintf out "splittable exact optimum: %s\n" (Q.to_string opt);
+                if not quiet then print_splittable out sched
+            | None -> Printf.bprintf out "exact solver out of budget or instance too large\n")
         | Preemptive, Approx ->
             let sched, stats = Ccs.Approx.Preemptive.solve inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_preemptive inst sched) in
-            Printf.printf "preemptive 2-approx: makespan %s (guess T=%s, <= 2T)\n"
+            Printf.bprintf out "preemptive 2-approx: makespan %s (guess T=%s, <= 2T)\n"
               (Q.to_string mk) (Q.to_string stats.Ccs.Approx.Preemptive.t_guess);
-            if not quiet then print_preemptive sched
+            if not quiet then print_preemptive out sched
         | Preemptive, Ptas ->
             let sched, stats = Ccs.Ptas.Preemptive_ptas.solve param inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_preemptive inst sched) in
-            Printf.printf "preemptive PTAS (delta=1/%d): makespan %s (accepted T=%s)\n" d
+            Printf.bprintf out "preemptive PTAS (delta=1/%d): makespan %s (accepted T=%s)\n" d
               (Q.to_string mk) (Q.to_string stats.Ccs.Ptas.Preemptive_ptas.t_accepted);
-            if not quiet then print_preemptive sched
+            if not quiet then print_preemptive out sched
         | Preemptive, Exact ->
-            Printf.printf "no exact preemptive solver (see DESIGN.md); lower bound: %s\n"
+            Printf.bprintf out "no exact preemptive solver (see DESIGN.md); lower bound: %s\n"
               (Q.to_string (Ccs.Bounds.lb_preemptive inst))
         | Nonpreemptive, Approx ->
             let sched, stats = Ccs.Approx.Nonpreemptive.solve inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_nonpreemptive inst sched) in
-            Printf.printf "non-preemptive 7/3-approx: makespan %d (guess T=%d, <= 7/3 T)\n" mk
+            Printf.bprintf out "non-preemptive 7/3-approx: makespan %d (guess T=%d, <= 7/3 T)\n" mk
               stats.Ccs.Approx.Nonpreemptive.t_guess;
-            if not quiet then print_nonpreemptive inst sched
+            if not quiet then print_nonpreemptive out inst sched
         | Nonpreemptive, Ptas ->
             let sched, stats = Ccs.Ptas.Nonpreemptive_ptas.solve param inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_nonpreemptive inst sched) in
-            Printf.printf "non-preemptive PTAS (delta=1/%d): makespan %d (accepted T=%s)\n" d mk
+            Printf.bprintf out "non-preemptive PTAS (delta=1/%d): makespan %d (accepted T=%s)\n" d mk
               (Q.to_string stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted);
-            if not quiet then print_nonpreemptive inst sched
+            if not quiet then print_nonpreemptive out inst sched
         | Nonpreemptive, Exact -> (
             match Ccs_exact.Bnb.solve inst with
             | Some (opt, sched) ->
-                Printf.printf "non-preemptive exact optimum: %d\n" opt;
-                if not quiet then print_nonpreemptive inst sched
-            | None -> Printf.printf "exact search out of budget\n"));
+                Printf.bprintf out "non-preemptive exact optimum: %d\n" opt;
+                if not quiet then print_nonpreemptive out inst sched
+            | None -> Printf.bprintf out "exact search out of budget\n"));
         0
       with
       | Invalid_argument msg ->
-          Printf.eprintf "error: %s\n" msg;
+          Printf.bprintf err "error: %s\n" msg;
           1
       | Ccs.Ptas.Common.Too_many ->
-          Printf.eprintf "error: configuration space too large for this epsilon\n";
+          Printf.bprintf err "error: configuration space too large for this epsilon\n";
           1)
 
+let run files variant algo epsilon quiet jobs obs =
+  Obs_cli.with_reporting obs @@ fun () ->
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be >= 1\n";
+    2
+  end
+  else begin
+    Ccs_par.set_jobs jobs;
+    let many = List.length files > 1 in
+    let results =
+      Ccs_par.parallel_map
+        (fun file ->
+          let out = Buffer.create 256 and err = Buffer.create 64 in
+          if many then Printf.bprintf out "=== %s ===\n" file;
+          let code = solve_one ~out ~err file variant algo epsilon quiet in
+          (out, err, code))
+        (Array.of_list files)
+    in
+    Array.fold_left
+      (fun acc (out, err, code) ->
+        print_string (Buffer.contents out);
+        prerr_string (Buffer.contents err);
+        max acc code)
+      0 results
+  end
+
 let cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file (ccs_gen format).") in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"INSTANCE"
+           ~doc:"Instance file(s) (ccs_gen format); several files form a batch.")
+  in
   let variant = Arg.(value & opt variant_conv Nonpreemptive & info [ "variant" ] ~doc:"splittable, preemptive or nonpreemptive.") in
   let algo = Arg.(value & opt algo_conv Approx & info [ "algo" ] ~doc:"approx, ptas or exact.") in
   let epsilon = Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"PTAS accuracy (delta = 1/ceil(1/epsilon)).") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the schedule.") in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the batch and the in-solver probe loops. \
+                 Output is deterministic: seeded runs are bit-identical at any $(docv).")
+  in
   let info = Cmd.info "ccs_solve" ~doc:"Solve Class Constrained Scheduling instances" in
-  Cmd.v info Term.(const run $ file $ variant $ algo $ epsilon $ quiet $ Obs_cli.term)
+  Cmd.v info Term.(const run $ files $ variant $ algo $ epsilon $ quiet $ jobs $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

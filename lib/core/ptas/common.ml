@@ -12,22 +12,54 @@ exception Too_many
 
 let multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
   let parts = List.sort_uniq (fun a b -> compare b a) parts in
-  let out = ref [] in
-  let count = ref 0 in
+  (* The node budget is shared across parallel branches through one atomic
+     counter: the DFS visits exactly the same node set at any pool size, so
+     Too_many fires under exactly the same inputs. *)
+  let count = Atomic.make 0 in
   (* DFS over parts in descending order; [current] is built descending. *)
-  let rec go parts current sum cnt =
-    incr count;
-    if !count > limit then raise Too_many;
-    out := List.rev current :: !out;
-    match parts with
-    | [] -> ()
-    | v :: rest ->
-        if cnt < max_count && sum + v <= max_sum then go parts (v :: current) (sum + v) (cnt + 1);
-        go rest current sum cnt
+  let explore parts0 current0 sum0 cnt0 =
+    let out = ref [] in
+    let rec go parts current sum cnt =
+      if Atomic.fetch_and_add count 1 >= limit then raise Too_many;
+      out := List.rev current :: !out;
+      match parts with
+      | [] -> ()
+      | v :: rest ->
+          if cnt < max_count && sum + v <= max_sum then
+            go parts (v :: current) (sum + v) (cnt + 1);
+          go rest current sum cnt
+    in
+    go parts0 current0 sum0 cnt0;
+    !out
   in
-  ignore (go parts [] 0 0);
+  (* Per-guess enumeration is the widest flat fan-out the PTASs have: split
+     on the multiplicity of the largest part (branch j fixes j copies, then
+     enumerates over the remaining part values), which reproduces the
+     sequential spine of the DFS one branch per node. *)
+  let pieces =
+    match parts with
+    (* Only fan out on part lists wide enough that each branch subtree
+       amortizes the batch overhead (narrow spaces, i.e. coarse delta, run
+       the plain DFS), and only when cores are present to absorb the
+       duplicated spine emissions the decomposition costs. Both gates
+       depend on the input and the machine, never on timing, and either
+       path yields the same sorted deduplicated list — so the enumeration
+       stays deterministic. *)
+    | v0 :: rest when Ccs_par.effective_jobs () > 1 && v0 > 0 && List.length rest >= 6 ->
+        let jmax = min max_count (max_sum / v0) in
+        (* The sequential DFS also counts the jmax+1 spine nodes the branch
+           decomposition skips; charge them up front so the total node count
+           — and hence whether Too_many fires — is identical at any pool
+           size (their emissions are duplicates of the branch roots). *)
+        if Atomic.fetch_and_add count (jmax + 1) + jmax + 1 > limit then raise Too_many;
+        Ccs_par.parallel_map
+          (fun j -> explore rest (List.init j (fun _ -> v0)) (j * v0) j)
+          (Array.init (jmax + 1) (fun j -> j))
+        |> Array.to_list |> List.concat
+    | _ -> explore parts [] 0 0
+  in
   (* dedupe: the DFS above emits each prefix once per branch; collect unique *)
-  List.sort_uniq compare !out
+  List.sort_uniq compare pieces
 
 let bounded_multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
   let parts = List.sort (fun (a, _) (b, _) -> compare b a) parts in
@@ -69,20 +101,27 @@ let row_ge coeffs rhs = { coeffs; cmp = Lp.Ge; rhs }
 
 let solve_int_feasibility ?(max_nodes = 50_000) ~nvars ~upper rows =
   let to_q = Q.of_int in
+  (* Row conversion (duplicate merging, int -> rational lifting) is flat and
+     independent per row; wide configuration IPs ride the pool, small ones
+     stay sequential — per-row work is microseconds, so a narrow batch
+     costs more in wakeups than it saves. *)
+  let convert r =
+    let coeffs =
+      (* merge duplicate variable indices *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (j, v) ->
+          Hashtbl.replace tbl j (v + Option.value ~default:0 (Hashtbl.find_opt tbl j)))
+        r.coeffs;
+      Hashtbl.fold (fun j v acc -> if v = 0 then acc else (j, to_q v) :: acc) tbl []
+    in
+    Lp.constr coeffs r.cmp (to_q r.rhs)
+  in
+  let rows_arr = Array.of_list rows in
   let constraints =
-    List.map
-      (fun r ->
-        let coeffs =
-          (* merge duplicate variable indices *)
-          let tbl = Hashtbl.create 8 in
-          List.iter
-            (fun (j, v) ->
-              Hashtbl.replace tbl j (v + Option.value ~default:0 (Hashtbl.find_opt tbl j)))
-            r.coeffs;
-          Hashtbl.fold (fun j v acc -> if v = 0 then acc else (j, to_q v) :: acc) tbl []
-        in
-        Lp.constr coeffs r.cmp (to_q r.rhs))
-      rows
+    if Array.length rows_arr >= 64 then
+      Array.to_list (Ccs_par.parallel_map convert rows_arr)
+    else Array.to_list (Array.map convert rows_arr)
   in
   let upper_q = Array.map (Option.map to_q) upper in
   let lp =
@@ -127,18 +166,48 @@ let geometric_search ~lb ~ub ~delta ~oracle =
     let rec go acc k = if k = 0 then acc else go (Q.mul acc step) (k - 1) in
     Q.min ub (go lb i)
   in
-  (* binary search the smallest accepted index *)
+  (* Search the smallest accepted index by k-section: each round probes the
+     current interval at [min jobs width] interior points concurrently, then
+     narrows exactly as the sequential scan of those answers would. With one
+     job the probe point is [(lo + hi) / 2] — classic bisection, unchanged
+     from the sequential implementation — and because the oracle is monotone
+     (see the interface), every pool size converges to the same smallest
+     accepted grid index, making seeded runs bit-identical at any --jobs. *)
   match oracle (point imax) with
   | None -> failwith "geometric_search: oracle rejected the upper bound"
   | Some witness_ub ->
       let best = ref (witness_ub, point imax) in
       let lo = ref 0 and hi = ref imax in
       while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        match oracle (point mid) with
-        | Some w ->
-            best := (w, point mid);
-            hi := mid
-        | None -> lo := mid + 1
+        let width = !hi - !lo in
+        (* k-section does ~k/log2(k+1) times the probe work of bisection, so
+           cap the fan-out by the cores actually present: on a single-core
+           host a 4-domain pool degenerates to plain bisection instead of
+           burning 1.7x the oracle calls. Any k lands on the same smallest
+           accepted index (the oracle is monotone and deterministic), so
+           this cap never changes the result, only the wall clock. *)
+        let k = min width (Ccs_par.effective_jobs ()) in
+        let probes =
+          Array.init k (fun i -> !lo + (width * (i + 1) / (k + 1)))
+          |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+        in
+        let answers = Ccs_par.parallel_map (fun i -> oracle (point i)) probes in
+        (* lowest accepted probe bounds from above; by monotonicity every
+           rejected probe below it bounds from below *)
+        let accepted = ref None in
+        Array.iteri
+          (fun j a ->
+            match (a, !accepted) with
+            | Some w, None -> accepted := Some (probes.(j), w)
+            | _ -> ())
+          answers;
+        match !accepted with
+        | Some (i, w) ->
+            best := (w, point i);
+            hi := i;
+            Array.iteri
+              (fun j a -> if a = None && probes.(j) < i then lo := max !lo (probes.(j) + 1))
+              answers
+        | None -> lo := probes.(Array.length probes - 1) + 1
       done;
       !best

@@ -400,9 +400,10 @@ let solve p inst =
           Ccs_obs.Log.int "c" (Instance.c inst);
           Ccs_obs.Log.int "d" p.Common.d ]
     @@ fun () ->
-    let calls = ref 0 in
+    (* probes run on pool domains, so the call counter must be atomic *)
+    let calls = Atomic.make 0 in
     let orc t =
-      incr calls;
+      Atomic.incr calls;
       oracle p inst t
     in
     let total = Instance.total_load inst in
@@ -420,10 +421,10 @@ let solve p inst =
         log
           ~fields:
             [ Ccs_obs.Log.str "t_accepted" (Q.to_string t_accepted);
-              Ccs_obs.Log.int "oracle_calls" !calls;
+              Ccs_obs.Log.int "oracle_calls" (Atomic.get calls);
               Ccs_obs.Log.int "ilp_vars" layout.nvars ]
           "nonpreemptive.solve: accepted");
-    (sched, { t_accepted; oracle_calls = !calls; ilp_vars = layout.nvars })
+    (sched, { t_accepted; oracle_calls = (Atomic.get calls); ilp_vars = layout.nvars })
 
 type abstract = {
   a_tbar : int;

@@ -530,9 +530,10 @@ let solve p inst =
           Ccs_obs.Log.int "c" (Instance.c inst);
           Ccs_obs.Log.int "d" p.Common.d ]
     @@ fun () ->
-    let calls = ref 0 in
+    (* probes run on pool domains, so the call counter must be atomic *)
+    let calls = Atomic.make 0 in
     let orc t =
-      incr calls;
+      Atomic.incr calls;
       oracle p inst t
     in
     let lb = Bounds.lb_preemptive inst in
@@ -549,13 +550,13 @@ let solve p inst =
         log
           ~fields:
             [ Ccs_obs.Log.str "t_accepted" (Q.to_string t_accepted);
-              Ccs_obs.Log.int "oracle_calls" !calls;
+              Ccs_obs.Log.int "oracle_calls" (Atomic.get calls);
               Ccs_obs.Log.int "ilp_vars" layout.nvars ]
           "preemptive.solve: accepted");
     ( sched,
       {
         t_accepted;
-        oracle_calls = !calls;
+        oracle_calls = (Atomic.get calls);
         ilp_vars = layout.nvars;
         layers = rounded.layers;
       } )

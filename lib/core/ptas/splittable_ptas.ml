@@ -424,10 +424,11 @@ let solve ?(explicit_limit = 4096) p inst =
         Ccs_obs.Log.int "c" (Instance.c inst);
         Ccs_obs.Log.int "d" p.Common.d ]
   @@ fun () ->
-  let calls = ref 0 in
+  (* probes run on pool domains, so the call counter must be atomic *)
+  let calls = Atomic.make 0 in
   let last_vars = ref 0 in
   let orc t =
-    incr calls;
+    Atomic.incr calls;
     oracle ~explicit_limit p inst t
   in
   let lb = Bounds.lb_splittable inst in
@@ -440,13 +441,13 @@ let solve ?(explicit_limit = 4096) p inst =
       log
         ~fields:
           [ Ccs_obs.Log.str "t_accepted" (Q.to_string t_accepted);
-            Ccs_obs.Log.int "oracle_calls" !calls;
+            Ccs_obs.Log.int "oracle_calls" (Atomic.get calls);
             Ccs_obs.Log.int "ilp_vars" !last_vars ]
         "splittable.solve: accepted");
   ( sched,
     {
       t_accepted;
-      oracle_calls = !calls;
+      oracle_calls = (Atomic.get calls);
       compressed = Instance.m inst > explicit_limit;
       ilp_vars = !last_vars;
     } )

@@ -16,9 +16,12 @@ let m_prunes = Ccs_obs.Metrics.counter "ilp.prunes_bound"
 let m_limit_hits = Ccs_obs.Metrics.counter "ilp.node_limit_hits"
 let h_nodes = Ccs_obs.Metrics.histogram "ilp.nodes_per_solve"
 
-let nodes = ref 0
+(* Node counting is domain-local: makespan-guess probes run concurrent
+   [solve] calls on Ccs_par workers, and a shared ref would tear their
+   counts. [last_node_count] reports the last solve on the calling domain. *)
+let nodes_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-let last_node_count () = !nodes
+let last_node_count () = !(Domain.DLS.get nodes_key)
 
 (* Most fractional integer-constrained variable, or None if integral. *)
 let pick_branch_var integer x =
@@ -38,6 +41,7 @@ let pick_branch_var integer x =
   match !best with Some (j, _) -> Some j | None -> None
 
 let solve ?(max_nodes = max_int) ?(feasibility = false) p =
+  let nodes = Domain.DLS.get nodes_key in
   nodes := 0;
   let incumbent = ref None in
   let limit_hit = ref false in
@@ -138,3 +142,10 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) p =
           ]
         "ilp.solve");
   result
+
+(* The dual-approximation framework generates many independent per-guess
+   subproblems; solving them as one batch keeps every domain busy while the
+   result array stays index-ordered (identical to [Array.map (solve ...)]).
+   If several solves raise, the lowest-index exception propagates. *)
+let solve_batch ?max_nodes ?feasibility ps =
+  Ccs_par.parallel_map (fun p -> solve ?max_nodes ?feasibility p) ps

@@ -50,6 +50,10 @@ let default_output line =
 let out = ref default_output
 let set_output f = out := f
 
+(* Concurrent solver phases (Ccs_par workers) log through the same sink;
+   one lock around the write keeps lines whole instead of interleaved. *)
+let out_mu = Mutex.create ()
+
 let start_time = Unix.gettimeofday ()
 let elapsed () = Unix.gettimeofday () -. start_time
 
@@ -83,7 +87,8 @@ let emit lvl fields text =
         in
         Jsonx.to_string (Jsonx.Obj obj) ^ "\n"
   in
-  !out line
+  Mutex.lock out_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock out_mu) (fun () -> !out line)
 
 let msg lvl k = if enabled lvl then k (fun ?(fields = []) text -> emit lvl fields text)
 

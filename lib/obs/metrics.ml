@@ -10,9 +10,20 @@ type entry = Counter of counter | Gauge of gauge | Histogram of histogram
 
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 
+(* One registry-wide lock. Solver phases run concurrently on domains
+   (Ccs_par), and every mutation — bumping a counter, growing a histogram,
+   registering a metric — is tiny next to the work being measured, so a
+   single mutex is both safe and cheap. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
 
 let register name make check =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some e -> (
       match check e with
@@ -46,17 +57,19 @@ let histogram name =
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
+let incr c = locked (fun () -> c.count <- c.count + 1)
+let add c n = locked (fun () -> c.count <- c.count + n)
+let counter_value c = locked (fun () -> c.count)
 
 let set_gauge g v =
+  locked @@ fun () ->
   g.gval <- v;
   g.gset <- true
 
-let gauge_value g = if g.gset then Some g.gval else None
+let gauge_value g = locked (fun () -> if g.gset then Some g.gval else None)
 
 let observe h x =
+  locked @@ fun () ->
   if h.len = Array.length h.samples then begin
     let bigger = Array.make (2 * h.len) 0.0 in
     Array.blit h.samples 0 bigger 0 h.len;
@@ -65,15 +78,17 @@ let observe h x =
   h.samples.(h.len) <- x;
   h.len <- h.len + 1
 
-let histogram_count h = h.len
+let histogram_count h = locked (fun () -> h.len)
 
+(* must be called with [mu] held *)
 let filled h = Array.sub h.samples 0 h.len
 
-let histogram_percentile h p = Ccs_util.Stats.percentile (filled h) p
-let histogram_mean h = Ccs_util.Stats.mean (filled h)
-let histogram_max h = Ccs_util.Stats.maximum (filled h)
+let histogram_percentile h p = locked (fun () -> Ccs_util.Stats.percentile (filled h) p)
+let histogram_mean h = locked (fun () -> Ccs_util.Stats.mean (filled h))
+let histogram_max h = locked (fun () -> Ccs_util.Stats.maximum (filled h))
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ -> function
       | Counter c -> c.count <- 0
@@ -84,6 +99,7 @@ let reset () =
     registry
 
 let sorted_entries () =
+  locked @@ fun () ->
   Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 

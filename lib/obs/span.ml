@@ -1,6 +1,7 @@
 type t = {
   sname : string;
   sfields : Log.field list;
+  stid : int;  (* id of the domain the span ran on *)
   sstart : float;  (* seconds since trace epoch *)
   mutable sdur : float;
   mutable rev_children : t list;
@@ -11,17 +12,27 @@ let start sp = sp.sstart
 let duration sp = sp.sdur
 let fields sp = sp.sfields
 let children sp = List.rev sp.rev_children
+let tid sp = sp.stid
 
 let on = ref false
 let epoch = ref 0.0
-let stack : t list ref = ref []
+
+(* Each domain keeps its own open-span stack, so nesting is tracked per
+   worker and never races; finished top-level spans funnel into one shared
+   forest under [mu]. A span whose parent lives on another domain (a
+   Ccs_par task spawned from inside a span) becomes a root of its own,
+   distinguished in the trace by its domain id. *)
+let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let mu = Mutex.create ()
 let rev_roots : t list ref = ref []
 let completed = ref 0
 
 let reset () =
-  stack := [];
+  Mutex.lock mu;
   rev_roots := [];
-  completed := 0
+  completed := 0;
+  Mutex.unlock mu;
+  Domain.DLS.get stack_key := []
 
 let set_enabled b =
   if b then begin
@@ -35,10 +46,12 @@ let enabled () = !on
 let with_ sname ?(fields = []) f =
   if not !on then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let sp =
       {
         sname;
         sfields = fields;
+        stid = (Domain.self () :> int);
         sstart = Unix.gettimeofday () -. !epoch;
         sdur = 0.0;
         rev_children = [];
@@ -58,16 +71,33 @@ let with_ sname ?(fields = []) f =
             | [] -> []
           in
           stack := drop !stack);
-      incr completed;
       match !stack with
-      | parent :: _ -> parent.rev_children <- sp :: parent.rev_children
-      | [] -> rev_roots := sp :: !rev_roots
+      | parent :: _ ->
+          parent.rev_children <- sp :: parent.rev_children;
+          Mutex.lock mu;
+          incr completed;
+          Mutex.unlock mu
+      | [] ->
+          Mutex.lock mu;
+          rev_roots := sp :: !rev_roots;
+          incr completed;
+          Mutex.unlock mu
     in
     Fun.protect ~finally:finish f
   end
 
-let roots () = List.rev !rev_roots
-let count () = !completed
+let roots () =
+  Mutex.lock mu;
+  let r = List.rev !rev_roots in
+  Mutex.unlock mu;
+  (* stable presentation order regardless of which domain finished first *)
+  List.stable_sort (fun a b -> compare (a.sstart, a.stid) (b.sstart, b.stid)) r
+
+let count () =
+  Mutex.lock mu;
+  let c = !completed in
+  Mutex.unlock mu;
+  c
 
 let to_chrome_json () =
   let micros s = Float.round (s *. 1e6) in
@@ -82,7 +112,7 @@ let to_chrome_json () =
            ("ts", Jsonx.Float (micros sp.sstart));
            ("dur", Jsonx.Float (micros sp.sdur));
            ("pid", Jsonx.Int 0);
-           ("tid", Jsonx.Int 0);
+           ("tid", Jsonx.Int sp.stid);
          ]
         @ if args = [] then [] else [ ("args", Jsonx.Obj args) ])
     in

@@ -20,6 +20,11 @@ val fields : t -> Log.field list
 (** Completed children, in execution order. *)
 val children : t -> t list
 
+(** Id of the domain the span ran on ([Domain.self] at span start); spans
+    opened inside a [Ccs_par] task carry the worker's id, and the Chrome
+    export maps it to [tid] so concurrent lanes render separately. *)
+val tid : t -> int
+
 (** Enabling (re)starts a fresh trace; disabling keeps the collected spans
     readable. Default: disabled. *)
 val set_enabled : bool -> unit
@@ -34,7 +39,9 @@ val reset : unit -> unit
     call structure. *)
 val with_ : string -> ?fields:Log.field list -> (unit -> 'a) -> 'a
 
-(** Completed top-level spans, in completion order. Spans still open (an
+(** Completed top-level spans, ordered by start time (ties broken by domain
+    id, so the order is stable under concurrency). A span whose parent ran
+    on a different domain is a root of its own. Spans still open (an
     enclosing [with_] has not returned yet) are not included. *)
 val roots : unit -> t list
 

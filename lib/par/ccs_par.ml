@@ -1,0 +1,199 @@
+(* Fixed-size domain pool with deterministic, sequential-equivalent
+   combinators.
+
+   Design notes. A batch claims indices from an atomic cursor in ascending
+   order; the caller drains the cursor itself and enqueues at most
+   [size - 1] helper tasks, so a batch never *depends* on pool workers
+   being free — nested fan-out cannot deadlock, it only loses parallelism.
+   Determinism comes from keeping all merge steps index-ordered: results
+   land in slot [i], the surviving exception is the lowest-index one, and
+   find_first reports the lowest-index event (Some or raise), which is
+   precisely what the sequential left-to-right loop observes. *)
+
+let m_batches = Ccs_obs.Metrics.counter "par.batches"
+let m_tasks = Ccs_obs.Metrics.counter "par.tasks"
+
+(* Cores the machine actually has. A pool larger than this only adds GC
+   coordination and scheduler thrash (domains are not hyperthreads), so
+   batches never hand work to more than [available_cores] domains — on a
+   single-core host every batch degenerates to the caller's sequential
+   drain, which by the determinism contract changes nothing but the wall
+   clock. *)
+let available_cores = max 1 (Domain.recommended_domain_count ())
+
+module Pool = struct
+  type t = {
+    psize : int;
+    queue : (unit -> unit) Queue.t;
+    mu : Mutex.t;
+    work : Condition.t;
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  let size t = t.psize
+
+  (* Helper tasks terminate on their own (the batch cursor runs dry), so a
+     worker loop only has to wait for work or for shutdown. *)
+  let rec worker pool =
+    Mutex.lock pool.mu;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work pool.mu
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mu (* stop *)
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mu;
+      task ();
+      worker pool
+    end
+
+  let create ~jobs =
+    if jobs < 1 then invalid_arg "Ccs_par.Pool.create: jobs must be >= 1";
+    let pool =
+      {
+        psize = jobs;
+        queue = Queue.create ();
+        mu = Mutex.create ();
+        work = Condition.create ();
+        stop = false;
+        domains = [];
+      }
+    in
+    (* Spawn only workers that [run_batch] can ever hand work to (see
+       [available_cores]): an idle surplus domain still costs a backup
+       thread in every stop-the-world minor collection, which on a small
+       machine is pure drag. *)
+    pool.domains <-
+      List.init (min jobs available_cores - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool
+
+  let submit pool task =
+    Mutex.lock pool.mu;
+    Queue.push task pool.queue;
+    Condition.signal pool.work;
+    Mutex.unlock pool.mu
+
+  let shutdown pool =
+    Mutex.lock pool.mu;
+    pool.stop <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mu;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+end
+
+(* ---------------- ambient pool ---------------- *)
+
+let sequential = lazy (Pool.create ~jobs:1)
+let ambient_pool : Pool.t option ref = ref None
+
+let ambient () =
+  match !ambient_pool with Some p -> p | None -> Lazy.force sequential
+
+let jobs () = match !ambient_pool with Some p -> Pool.size p | None -> 1
+let effective_jobs () = min (jobs ()) available_cores
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Ccs_par.set_jobs: jobs must be >= 1";
+  (match !ambient_pool with Some p -> Pool.shutdown p | None -> ());
+  ambient_pool := (if n = 1 then None else Some (Pool.create ~jobs:n))
+
+(* Joining the workers at exit keeps domain teardown orderly even when the
+   CLI exits from the middle of a parallel phase. *)
+let () = at_exit (fun () -> match !ambient_pool with Some p -> Pool.shutdown p | None -> ())
+
+(* ---------------- batches ---------------- *)
+
+(* Run [n] indexed steps on [pool]; steps must handle their own exceptions.
+   The caller participates, helpers are best-effort. *)
+let run_batch pool n step =
+  Ccs_obs.Metrics.incr m_batches;
+  Ccs_obs.Metrics.add m_tasks n;
+  let next = Atomic.make 0 in
+  let remaining = Atomic.make n in
+  let mu = Mutex.create () in
+  let finished = Condition.create () in
+  let rec drain () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      step i;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock mu;
+        Condition.broadcast finished;
+        Mutex.unlock mu
+      end;
+      drain ()
+    end
+  in
+  for _ = 2 to min (min (Pool.size pool) available_cores) n do
+    Pool.submit pool drain
+  done;
+  drain ();
+  Mutex.lock mu;
+  while Atomic.get remaining > 0 do
+    Condition.wait finished mu
+  done;
+  Mutex.unlock mu
+
+let resolve_pool = function Some p -> p | None -> ambient ()
+
+let parallel_mapi ?pool f arr =
+  let pool = resolve_pool pool in
+  let n = Array.length arr in
+  if n <= 1 || Pool.size pool = 1 then Array.mapi f arr
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    run_batch pool n (fun i ->
+        match f i arr.(i) with
+        | r -> results.(i) <- Some r
+        | exception e -> errors.(i) <- Some e);
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let parallel_map ?pool f arr = parallel_mapi ?pool (fun _ x -> f x) arr
+
+let parallel_find_firsti ?pool f arr =
+  let pool = resolve_pool pool in
+  let n = Array.length arr in
+  if n <= 1 || Pool.size pool = 1 then begin
+    (* plain left-to-right scan *)
+    let rec go i =
+      if i >= n then None
+      else match f i arr.(i) with Some v -> Some v | None -> go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    (* [cut] is the lowest index known to carry an event (a [Some] or a
+       raise); indices above it are skipped, indices below it are always
+       evaluated, which is what makes the final answer the sequential
+       one. *)
+    let cut = Atomic.make n in
+    let outcome = Array.make n `None in
+    let rec lower i =
+      let c = Atomic.get cut in
+      if i < c && not (Atomic.compare_and_set cut c i) then lower i
+    in
+    run_batch pool n (fun i ->
+        if i < Atomic.get cut then
+          match f i arr.(i) with
+          | Some v ->
+              outcome.(i) <- `Found v;
+              lower i
+          | None -> ()
+          | exception e ->
+              outcome.(i) <- `Exn e;
+              lower i);
+    let w = Atomic.get cut in
+    if w >= n then None
+    else
+      match outcome.(w) with
+      | `Found v -> Some v
+      | `Exn e -> raise e
+      | `None -> assert false
+  end
+
+let parallel_find_first ?pool f arr = parallel_find_firsti ?pool (fun _ x -> f x) arr

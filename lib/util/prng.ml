@@ -67,6 +67,21 @@ let shuffle t a =
     a.(j) <- tmp
   done
 
+(* Stream [index] of the family keyed by [seed]: a pure function of
+   (seed, index), so parallel workers that take stream i for task i draw
+   identical values no matter which domain runs the task or in what order.
+   Index 0 is the base stream, identical to [create seed]. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Prng.stream: index must be >= 0";
+  let t = create seed in
+  if index > 0 then begin
+    let mixer =
+      { state = Int64.logxor t.state (Int64.mul (Int64.of_int index) 0xDA942042E4DD58B5L) }
+    in
+    t.state <- next_int64 mixer
+  end;
+  t
+
 let split t =
   (* Derive an independent stream; mixing with a distinct odd constant keeps
      the child decorrelated from the parent's continuation. *)

@@ -34,5 +34,11 @@ val weighted : t -> float array -> int
 (** In-place Fisher-Yates shuffle. *)
 val shuffle : t -> 'a array -> unit
 
-(** Derive an independent child stream. *)
+(** [stream ~seed ~index] is the [index]-th stream of the family keyed by
+    [seed]: a pure function of both arguments, for handing each task of a
+    parallel batch its own reproducible generator. [index = 0] is the base
+    stream, identical to [create seed]. Raises on negative index. *)
+val stream : seed:int -> index:int -> t
+
+(** Derive an independent child stream (advances [t]). *)
 val split : t -> t

@@ -28,6 +28,22 @@ combination, and check the reported numbers are sane and deterministic.
   instance: n=10 m=3 c=2 C=3
   non-preemptive PTAS (delta=1/1): makespan 371 (accepted T=212)
 
+Several instances form a batch; with --jobs they are solved on a domain
+pool, and the buffered per-instance output is byte-identical to -j 1:
+
+  $ ccs_gen -n 8 -C 2 -m 2 -c 2 --seed 9 -o inst2.ccs
+  wrote inst2.ccs (n=8, C=2)
+  $ ccs_solve inst.ccs inst2.ccs --variant nonpreemptive --algo ptas --epsilon 1 -q > batch_j1.out
+  $ ccs_solve inst.ccs inst2.ccs --variant nonpreemptive --algo ptas --epsilon 1 -q --jobs 4 > batch_j4.out
+  $ diff batch_j1.out batch_j4.out
+  $ cat batch_j4.out
+  === inst.ccs ===
+  instance: n=10 m=3 c=2 C=3
+  non-preemptive PTAS (delta=1/1): makespan 371 (accepted T=212)
+  === inst2.ccs ===
+  instance: n=8 m=2 c=2 C=2
+  non-preemptive PTAS (delta=1/1): makespan 561 (accepted T=281)
+
 A malformed instance is rejected with a useful message:
 
   $ printf 'ccs 1\nslots 2\njob 1 0\n' > bad.ccs
