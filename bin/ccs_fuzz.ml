@@ -1,0 +1,92 @@
+(* Differential fuzzing CLI: seeded random instances through the Ccs_check
+   oracle. Every applicable solver runs on every instance; schedules are
+   validated, certificates are cross-checked within and across regimes, and
+   metamorphic variants (scaled, permuted, one extra machine) must agree.
+   Violations are shrunk to a self-contained repro. Exit code 1 iff any
+   violation was found.
+
+   The instance at index i depends only on (seed, i), so a report line
+   replays exactly with --seed S (and --count > i) at any --jobs count. *)
+
+open Cmdliner
+
+let run seed count epsilon jobs max_n no_metamorphic no_shrink verbose obs =
+  Obs_cli.with_reporting obs @@ fun () ->
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be >= 1\n";
+    2
+  end
+  else if count < 1 then begin
+    Printf.eprintf "error: --count must be >= 1\n";
+    2
+  end
+  else begin
+    Ccs_par.set_jobs jobs;
+    let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
+    let param = Ccs.Ptas.Common.param d in
+    let config =
+      {
+        Ccs_check.Runner.default_config with
+        seed;
+        count;
+        param;
+        metamorphic = not no_metamorphic;
+        shrink = not no_shrink;
+        max_n;
+      }
+    in
+    let report = Ccs_check.Runner.run config in
+    if verbose then begin
+      Printf.printf "%-24s %8s %8s\n" "solver" "solved" "skipped";
+      List.iter
+        (fun t ->
+          Printf.printf "%-24s %8d %8d\n" t.Ccs_check.Oracle.name
+            t.Ccs_check.Oracle.solved t.Ccs_check.Oracle.skipped)
+        report.Ccs_check.Runner.tallies
+    end;
+    List.iter
+      (fun case -> print_string (Ccs_check.Runner.render_case config case))
+      report.Ccs_check.Runner.cases;
+    let nviol = List.length report.Ccs_check.Runner.cases in
+    Printf.printf "checked %d instances (seed %d, delta 1/%d): %s\n"
+      report.Ccs_check.Runner.checked seed d
+      (if nviol = 0 then "no violations"
+       else Printf.sprintf "%d violation%s" nviol (if nviol = 1 then "" else "s"));
+    if nviol = 0 then 0 else 1
+  end
+
+let cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"PRNG seed; instance $(i,i) depends only on ($(docv), i).")
+  in
+  let count = Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Number of instances to check.") in
+  let epsilon = Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"PTAS accuracy (delta = 1/ceil(1/epsilon)).") in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains. Reports are bit-identical at any $(docv).")
+  in
+  let max_n =
+    Arg.(value & opt int Ccs_check.Runner.default_config.Ccs_check.Runner.max_n
+           & info [ "max-n" ] ~doc:"Cap on generated instance size.")
+  in
+  let no_metamorphic = Arg.(value & flag & info [ "no-metamorphic" ] ~doc:"Skip the metamorphic (scale/permute/add-machine) probes.") in
+  let no_shrink = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report original instances instead of shrunk repros.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-solver solved/skipped tally.") in
+  let info =
+    Cmd.info "ccs_fuzz"
+      ~doc:"Differential fuzzing oracle for the CCS solvers"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P "Generates seeded random instances, runs every applicable solver \
+              (2-approx, PTAS and exact, in all three regimes), validates each \
+              schedule and cross-checks the solvers' certified bounds against \
+              each other and under metamorphic transforms. Violations are \
+              shrunk and printed as self-contained repros.";
+        ]
+  in
+  Cmd.v info
+    Term.(const run $ seed $ count $ epsilon $ jobs $ max_n $ no_metamorphic $ no_shrink $ verbose $ Obs_cli.term)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,23 @@
+(** Metamorphic transforms with a known effect on the optimum: scaling all
+    processing times by k scales every schedule by k, permuting class ids
+    and job order only relabels schedules, and adding a machine can only
+    help. *)
+
+type transform =
+  | Scale of int
+  | Permute of int  (** seed of the class/job permutation *)
+  | Add_machine
+
+val name : transform -> string
+
+(** The instance as a job list, for rebuilding variants. *)
+val jobs_of : Ccs.Instance.t -> (int * int) list
+
+(** [apply t inst] — always produces a well-formed, schedulable instance
+    when [inst] is schedulable. *)
+val apply : transform -> Ccs.Instance.t -> Ccs.Instance.t
+
+(** The transforms probed for one instance: one scale factor and one
+    permutation derived from [mseed], plus [Add_machine]. Scaling is omitted
+    when the processing times are large enough to risk overflow. *)
+val probes : mseed:int -> Ccs.Instance.t -> transform list

@@ -1,0 +1,203 @@
+(* The invariant oracle: run every applicable solver on one instance,
+   validate every schedule, and cross-check the certificates.
+
+   Checks, in order:
+   - "validator"  — a solver produced a schedule its regime validator rejects
+   - "crash"      — a solver raised an unexpected exception
+   - "guarantee"  — a makespan exceeds the bound certified by the solver's
+                    own accepted guess (2T, 2T, LB + 4T/3, PTAS guarantees)
+   - "regime-lb"  — a makespan is below the unconditional lower bound of its
+                    regime (Lemma 1: sum p/m, resp. max(pmax, sum p/m))
+   - "cross-lb"   — solver A's certified lower bound exceeds solver B's
+                    makespan although regime(A) <= regime(B) in the
+                    splittable <= preemptive <= non-preemptive order; with
+                    exact solvers (lower = upper = OPT) this subsumes both
+                    optimum-dominance and exact-vs-exact equality
+   - "ratio"      — a makespan exceeds ratio * OPT against a same-regime
+                    exact solver (2, 2, 7/3, and (1+O(delta)) for the PTASs)
+   - "<t>/..."    — the same checks on a metamorphically transformed
+                    instance (t in scale, permute, machines), plus the
+                    equivariance comparisons of Morph. *)
+
+module Q = Rat
+module I = Ccs.Instance
+module Common = Ccs.Ptas.Common
+
+type violation = { check : string; solver : string; detail : string }
+
+type tally = { name : string; solved : int; skipped : int }
+
+let outcome_of limits (s : Solvers.solver) inst =
+  if not (s.applicable limits inst) then None
+  else
+    Some
+      (try s.run inst with
+      | Common.Too_many -> Solvers.Skipped "configuration space too large"
+      | Common.Budget_exceeded -> Solvers.Skipped "ILP node budget exceeded"
+      | exn -> Solvers.Crashed (Printexc.to_string exn))
+
+let qs = Q.to_string
+
+(* Violations visible from one batch of runs on one instance (no transform
+   comparisons): per-run certificates plus all pairwise cross-checks. *)
+let batch_checks inst (runs : (Solvers.solver * Solvers.run) list) =
+  let vs = ref [] in
+  let add check solver detail = vs := { check; solver; detail } :: !vs in
+  List.iter
+    (fun ((s : Solvers.solver), (r : Solvers.run)) ->
+      if Q.(r.Solvers.makespan > r.upper) then
+        add "guarantee" s.name
+          (Printf.sprintf "makespan %s exceeds certified bound %s (witness T=%s)"
+             (qs r.makespan) (qs r.upper) (qs r.witness));
+      let regime_lb =
+        match s.regime with
+        | Solvers.Splittable -> Ccs.Bounds.lb_splittable inst
+        | Solvers.Preemptive | Solvers.Nonpreemptive -> Ccs.Bounds.lb_preemptive inst
+      in
+      if Q.(r.makespan < regime_lb) then
+        add "regime-lb" s.name
+          (Printf.sprintf "makespan %s below the regime lower bound %s" (qs r.makespan)
+             (qs regime_lb)))
+    runs;
+  List.iter
+    (fun ((si : Solvers.solver), (ri : Solvers.run)) ->
+      List.iter
+        (fun ((sj : Solvers.solver), (rj : Solvers.run)) ->
+          if
+            Solvers.regime_rank si.regime <= Solvers.regime_rank sj.regime
+            && Q.(ri.Solvers.lower > rj.Solvers.makespan)
+          then
+            add "cross-lb" sj.name
+              (Printf.sprintf
+                 "%s certifies OPT(%s) >= %s, above the %s makespan %s"
+                 si.name
+                 (Solvers.regime_name si.regime)
+                 (qs ri.lower) sj.name (qs rj.makespan)))
+        runs)
+    runs;
+  List.iter
+    (fun ((se : Solvers.solver), (re : Solvers.run)) ->
+      if se.exact then
+        List.iter
+          (fun ((sa : Solvers.solver), (ra : Solvers.run)) ->
+            if
+              sa.regime = se.regime && (not sa.exact)
+              && Q.(ra.Solvers.makespan > Q.mul sa.ratio re.Solvers.makespan)
+            then
+              add "ratio" sa.name
+                (Printf.sprintf "makespan %s > %s * OPT (%s from %s)" (qs ra.makespan)
+                   (qs sa.ratio) (qs re.makespan) se.name))
+          runs)
+    runs;
+  List.rev !vs
+
+let transform_tag = function
+  | Morph.Scale _ -> "scale"
+  | Morph.Permute _ -> "permute"
+  | Morph.Add_machine -> "machines"
+
+(* Equivariance comparisons between the base run and the run on the
+   transformed instance; only invariants the solver actually promises
+   (flags in Solvers) are enforced. *)
+let compare_checks t (s : Solvers.solver) (r : Solvers.run) (r' : Solvers.run) add =
+  match t with
+  | Morph.Scale k ->
+      if s.scale_exact then begin
+        let kq = Q.of_int k in
+        if not (Q.equal r'.Solvers.makespan (Q.mul kq r.Solvers.makespan)) then
+          add "scale/equivariance" s.name
+            (Printf.sprintf "makespan %s after scaling by %d, expected exactly %s"
+               (qs r'.makespan) k
+               (qs (Q.mul kq r.makespan)));
+        if not (Q.equal r'.Solvers.witness (Q.mul kq r.Solvers.witness)) then
+          add "scale/witness" s.name
+            (Printf.sprintf "accepted guess %s after scaling by %d, expected %s"
+               (qs r'.witness) k
+               (qs (Q.mul kq r.witness)))
+      end
+  | Morph.Permute _ ->
+      if not (Q.equal r'.Solvers.witness r.Solvers.witness) then
+        add "permute/witness" s.name
+          (Printf.sprintf "accepted guess changed under permutation: %s vs %s"
+             (qs r.witness) (qs r'.witness));
+      if s.perm_exact && not (Q.equal r'.Solvers.makespan r.Solvers.makespan) then
+        add "permute/equivariance" s.name
+          (Printf.sprintf "makespan changed under permutation: %s vs %s" (qs r.makespan)
+             (qs r'.makespan))
+  | Morph.Add_machine ->
+      if s.mono_machines && Q.(r'.Solvers.makespan > r.Solvers.makespan) then
+        add "machines/monotone" s.name
+          (Printf.sprintf "makespan increased from %s to %s when a machine was added"
+             (qs r.makespan) (qs r'.makespan));
+      if Q.(r'.Solvers.witness > Q.mul s.witness_growth r.Solvers.witness) then
+        add "machines/witness" s.name
+          (Printf.sprintf
+             "accepted guess grew from %s to %s (> %s x) when a machine was added"
+             (qs r.witness) (qs r'.witness) (qs s.witness_growth))
+
+let check_with ?(limits = Solvers.default_limits) ?(metamorphic = true) ~mseed ~solvers
+    inst =
+  let outcomes = List.map (fun s -> (s, outcome_of limits s inst)) solvers in
+  let tallies =
+    List.map
+      (fun ((s : Solvers.solver), o) ->
+        match o with
+        | Some (Solvers.Solved _) -> { name = s.name; solved = 1; skipped = 0 }
+        | Some (Solvers.Skipped _) -> { name = s.name; solved = 0; skipped = 1 }
+        | _ -> { name = s.name; solved = 0; skipped = 0 })
+      outcomes
+  in
+  let vs = ref [] in
+  let add check solver detail = vs := { check; solver; detail } :: !vs in
+  List.iter
+    (fun ((s : Solvers.solver), o) ->
+      match o with
+      | Some (Solvers.Invalid e) -> add "validator" s.name e
+      | Some (Solvers.Crashed e) -> add "crash" s.name e
+      | _ -> ())
+    outcomes;
+  let runs =
+    List.filter_map
+      (function s, Some (Solvers.Solved r) -> Some (s, r) | _ -> None)
+      outcomes
+  in
+  let base = batch_checks inst runs in
+  let meta =
+    if not metamorphic then []
+    else
+      List.concat_map
+        (fun t ->
+          let tag = transform_tag t in
+          let inst' = Morph.apply t inst in
+          let mvs = ref [] in
+          let madd check solver detail = mvs := { check; solver; detail } :: !mvs in
+          let runs' =
+            List.filter_map
+              (fun ((s : Solvers.solver), r) ->
+                match outcome_of limits s inst' with
+                | None | Some (Solvers.Skipped _) -> None
+                | Some (Solvers.Invalid e) ->
+                    madd (tag ^ "/validator") s.name
+                      (Printf.sprintf "after %s: %s" (Morph.name t) e);
+                    None
+                | Some (Solvers.Crashed e) ->
+                    madd (tag ^ "/crash") s.name
+                      (Printf.sprintf "after %s: %s" (Morph.name t) e);
+                    None
+                | Some (Solvers.Solved r') ->
+                    compare_checks t s r r' madd;
+                    Some (s, r'))
+              runs
+          in
+          let standalone =
+            List.map
+              (fun v -> { v with check = tag ^ "/" ^ v.check })
+              (batch_checks inst' runs')
+          in
+          List.rev !mvs @ standalone)
+        (Morph.probes ~mseed inst)
+  in
+  (tallies, List.rev !vs @ base @ meta)
+
+let check ?(limits = Solvers.default_limits) ?metamorphic ~param ~mseed inst =
+  check_with ~limits ?metamorphic ~mseed ~solvers:(Solvers.all ~limits param) inst

@@ -1,0 +1,43 @@
+(** The per-instance invariant oracle: run every applicable solver, validate
+    every schedule, and cross-check certificates between solvers — within a
+    regime, along the splittable <= preemptive <= non-preemptive dominance
+    chain, against same-regime exact optima (ratios 2 / 2 / 7/3 and the PTAS
+    guarantees), and under metamorphic transforms. *)
+
+type violation = {
+  check : string;
+      (** stable id: "validator", "crash", "guarantee", "regime-lb",
+          "cross-lb", "ratio", or "<scale|permute|machines>/..." for the
+          metamorphic variants *)
+  solver : string;
+  detail : string;
+}
+
+type tally = { name : string; solved : int; skipped : int }
+
+(** One solver on one instance: [None] when not applicable under [limits];
+    exceptions mapped to [Skipped] (budget) or [Crashed]. *)
+val outcome_of :
+  Solvers.limits -> Solvers.solver -> Ccs.Instance.t -> Solvers.outcome option
+
+(** [check ~param ~mseed inst] returns the per-solver outcome tally (base
+    runs only) and all violations found. [mseed] seeds the metamorphic
+    transform choices; keep it fixed while shrinking so the violation being
+    chased does not move. *)
+val check :
+  ?limits:Solvers.limits ->
+  ?metamorphic:bool ->
+  param:Ccs.Ptas.Common.param ->
+  mseed:int ->
+  Ccs.Instance.t ->
+  tally list * violation list
+
+(** Same, over an explicit solver list — lets tests inject a deliberately
+    broken solver and assert the oracle catches it. *)
+val check_with :
+  ?limits:Solvers.limits ->
+  ?metamorphic:bool ->
+  mseed:int ->
+  solvers:Solvers.solver list ->
+  Ccs.Instance.t ->
+  tally list * violation list

@@ -1,0 +1,183 @@
+(* The fuzzing loop: for each index in [0, count) derive an independent PRNG
+   stream from the base seed, draw a random instance family/shape, run the
+   oracle, and shrink any violation to a self-contained repro. Indices are
+   independent, so the batch parallelizes over the ambient Ccs_par pool with
+   bit-identical results at any pool size. *)
+
+module Q = Rat
+module I = Ccs.Instance
+module Prng = Ccs_util.Prng
+module Common = Ccs.Ptas.Common
+
+type config = {
+  seed : int;
+  count : int;
+  param : Common.param;
+  limits : Solvers.limits;
+  metamorphic : bool;
+  shrink : bool;
+  max_n : int;
+  max_shrink_tests : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    count = 100;
+    param = Common.param 2;
+    limits = Solvers.default_limits;
+    metamorphic = true;
+    shrink = true;
+    max_n = 24;
+    max_shrink_tests = 300;
+  }
+
+type case = {
+  index : int;  (** which instance of the run (combine with seed to replay) *)
+  violation : Oracle.violation;
+  instance : I.t;  (** shrunk repro *)
+  original : I.t;
+}
+
+type report = {
+  checked : int;
+  tallies : Oracle.tally list;  (** aggregated per solver, in registry order *)
+  cases : case list;
+}
+
+let families = [| Ccs.Generator.Uniform; Zipf; Heavy_classes; Large_jobs |]
+
+(* Mostly small processing times (where the combinatorics live), sometimes
+   large ones (where overflow bugs live). *)
+let draw_p_hi rng =
+  match Prng.int rng 20 with
+  | 0 -> 1_000_000_000_000
+  | 1 | 2 -> 1_000_000
+  | k when k < 9 -> 1000
+  | k when k < 15 -> 100
+  | _ -> 10
+
+let gen_instance rng ~max_n =
+  let spec =
+    {
+      Ccs.Generator.n = 1 + Prng.int rng max_n;
+      classes = 1 + Prng.int rng 8;
+      machines = 1 + Prng.int rng 6;
+      slots = 1 + Prng.int rng 4;
+      p_lo = 1;
+      p_hi = draw_p_hi rng;
+      family = families.(Prng.int rng (Array.length families));
+    }
+  in
+  let inst = Ccs.Generator.generate ~seed:(Prng.next_int rng) spec in
+  if I.schedulable inst then inst
+  else begin
+    (* bump the machine count to the least schedulable value *)
+    let needed = (I.num_classes inst + I.c inst - 1) / I.c inst in
+    I.make ~machines:needed ~slots:(I.c inst) (Morph.jobs_of inst)
+  end
+
+(* Checks that implicate a single solver; chasing one during shrinking only
+   needs that solver re-run. "cross-lb" and "ratio" compare pairs and keep
+   the full registry. *)
+let single_solver_check check =
+  let kind =
+    match String.index_opt check '/' with
+    | None -> check
+    | Some i -> String.sub check (i + 1) (String.length check - i - 1)
+  in
+  match kind with
+  | "validator" | "crash" | "guarantee" | "regime-lb" | "equivariance" | "witness"
+  | "monotone" ->
+      true
+  | _ -> false
+
+let check_index config index =
+  let rng = Prng.stream ~seed:config.seed ~index in
+  let inst = gen_instance rng ~max_n:config.max_n in
+  let mseed = Prng.next_int rng in
+  let solvers = Solvers.all ~limits:config.limits config.param in
+  let tallies, violations =
+    Oracle.check_with ~limits:config.limits ~metamorphic:config.metamorphic ~mseed
+      ~solvers inst
+  in
+  let to_shrink = List.filteri (fun i _ -> i < 3) violations in
+  let cases =
+    List.map
+      (fun (v : Oracle.violation) ->
+        let instance =
+          if not config.shrink then inst
+          else begin
+            (* Each shrinker probe re-runs the oracle, so narrow it to what
+               can reproduce this violation: only the implicated solver when
+               the check is single-solver, and metamorphic probes only when
+               the check is a metamorphic one. *)
+            let solvers =
+              if single_solver_check v.Oracle.check then
+                List.filter
+                  (fun (s : Solvers.solver) -> s.Solvers.name = v.Oracle.solver)
+                  solvers
+              else solvers
+            in
+            let metamorphic = String.contains v.Oracle.check '/' in
+            let violates inst' =
+              let _, vs' =
+                Oracle.check_with ~limits:config.limits ~metamorphic ~mseed ~solvers
+                  inst'
+              in
+              List.exists
+                (fun (v' : Oracle.violation) ->
+                  v'.Oracle.check = v.Oracle.check && v'.Oracle.solver = v.Oracle.solver)
+                vs'
+            in
+            Shrink.shrink ~max_tests:config.max_shrink_tests ~violates inst
+          end
+        in
+        { index; violation = v; instance; original = inst })
+      to_shrink
+  in
+  (tallies, cases)
+
+let merge_tallies per_index =
+  match per_index with
+  | [] -> []
+  | first :: _ ->
+      List.mapi
+        (fun i (t : Oracle.tally) ->
+          List.fold_left
+            (fun acc ts ->
+              let t = List.nth ts i in
+              {
+                acc with
+                Oracle.solved = acc.Oracle.solved + t.Oracle.solved;
+                skipped = acc.Oracle.skipped + t.Oracle.skipped;
+              })
+            { t with Oracle.solved = 0; skipped = 0 }
+            per_index)
+        first
+
+let run config =
+  let results =
+    Ccs_par.parallel_mapi
+      (fun index () -> check_index config index)
+      (Array.make config.count ())
+  in
+  let tallies = merge_tallies (Array.to_list (Array.map fst results)) in
+  let cases = List.concat (Array.to_list (Array.map snd results)) in
+  { checked = config.count; tallies; cases }
+
+(* A self-contained repro: the violation, the exact replay coordinates, and
+   the shrunk instance in Io format (feed it to ccs_solve, or replay the
+   whole index with ccs_fuzz --seed S --count I+1). *)
+let render_case config (c : case) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "violation [%s] in %s (seed %d, instance index %d)\n"
+    c.violation.Oracle.check c.violation.Oracle.solver config.seed c.index;
+  Printf.bprintf buf "  %s\n" c.violation.Oracle.detail;
+  Printf.bprintf buf "  replay: ccs_fuzz --seed %d --count %d   # instance index %d\n"
+    config.seed (c.index + 1) c.index;
+  Printf.bprintf buf "  shrunk instance (%d of originally %d jobs):\n" (I.n c.instance)
+    (I.n c.original);
+  String.split_on_char '\n' (Ccs.Io.to_string c.instance)
+  |> List.iter (fun line -> if line <> "" then Printf.bprintf buf "    %s\n" line);
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** The fuzzing loop: seeded random instances through the oracle, violations
+    shrunk to self-contained repros. Index [i] of a run is checked with the
+    PRNG stream [Prng.stream ~seed ~index:i], so any single violation
+    replays from (seed, index) alone, and the batch parallelizes over the
+    ambient {!Ccs_par} pool with bit-identical results at any pool size. *)
+
+type config = {
+  seed : int;
+  count : int;
+  param : Ccs.Ptas.Common.param;
+  limits : Solvers.limits;
+  metamorphic : bool;
+  shrink : bool;
+  max_n : int;  (** cap on generated instance size *)
+  max_shrink_tests : int;
+}
+
+(** seed 1, count 100, PTAS delta = 1/2, metamorphic + shrinking on. *)
+val default_config : config
+
+type case = {
+  index : int;
+  violation : Oracle.violation;
+  instance : Ccs.Instance.t;  (** shrunk repro *)
+  original : Ccs.Instance.t;
+}
+
+type report = {
+  checked : int;
+  tallies : Oracle.tally list;  (** aggregated per solver, registry order *)
+  cases : case list;
+}
+
+(** The instance drawn for one index (exposed for tests and replay
+    tooling); draws from [rng] exactly as the fuzzing loop does. *)
+val gen_instance : Ccs_util.Prng.t -> max_n:int -> Ccs.Instance.t
+
+(** One index of the loop: generate, check, shrink. [run] is exactly a
+    parallel map of this over [0, count). *)
+val check_index : config -> int -> Oracle.tally list * case list
+
+val run : config -> report
+
+(** Printable self-contained repro: violation, replay coordinates, and the
+    shrunk instance in {!Ccs.Io} format. *)
+val render_case : config -> case -> string

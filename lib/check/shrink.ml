@@ -1,0 +1,62 @@
+(* Greedy instance shrinker: starting from a violating instance, repeatedly
+   try the one-step reductions — drop a job, merge two classes, drop a
+   machine, halve a processing time — and keep any reduction under which the
+   violation persists, until a fixpoint (no candidate still violates) or the
+   test budget runs out. The result is the instance printed in a repro. *)
+
+module I = Ccs.Instance
+
+let jobs_of = Morph.jobs_of
+
+(* All one-step smaller, still-schedulable variants, most aggressive
+   reductions first: fewer jobs, then fewer classes, then fewer machines,
+   then smaller processing times. *)
+let candidates inst =
+  let m = I.m inst and c = I.c inst in
+  let jobs = jobs_of inst in
+  let n = List.length jobs in
+  let build ?(machines = m) js =
+    if js = [] then None
+    else
+      let inst' = I.make ~machines ~slots:c js in
+      if I.schedulable inst' then Some inst' else None
+  in
+  let drop_job =
+    if n <= 1 then []
+    else List.init n (fun i -> build (List.filteri (fun k _ -> k <> i) jobs))
+  in
+  let merge_class =
+    let nc = I.num_classes inst in
+    if nc <= 1 then []
+    else
+      List.concat
+        (List.init nc (fun u ->
+             List.init u (fun v ->
+                 build
+                   (List.map (fun (p, cls) -> (p, (if cls = u then v else cls))) jobs))))
+  in
+  let drop_machine = if m <= 1 then [] else [ build ~machines:(m - 1) jobs ] in
+  let halve_p =
+    List.init n (fun i ->
+        let p, _ = List.nth jobs i in
+        if p < 2 then None
+        else
+          build (List.mapi (fun k (pk, ck) -> if k = i then (pk / 2, ck) else (pk, ck)) jobs))
+  in
+  List.filter_map Fun.id (drop_job @ merge_class @ drop_machine @ halve_p)
+
+let shrink ?(max_tests = 300) ~violates inst =
+  let tests = ref 0 in
+  let keep inst' =
+    !tests < max_tests
+    && begin
+         incr tests;
+         violates inst'
+       end
+  in
+  let rec loop inst =
+    match List.find_opt keep (candidates inst) with
+    | Some smaller -> loop smaller
+    | None -> inst
+  in
+  loop inst

@@ -1,0 +1,14 @@
+(** Greedy repro shrinker: drop jobs, merge classes, drop machines and halve
+    processing times while [violates] keeps holding, to a fixpoint or until
+    [max_tests] probes were spent. Every candidate it tries (and therefore
+    the result) is well-formed and schedulable. *)
+
+(** One-step smaller variants, most aggressive reductions first (exposed for
+    tests). *)
+val candidates : Ccs.Instance.t -> Ccs.Instance.t list
+
+val shrink :
+  ?max_tests:int ->
+  violates:(Ccs.Instance.t -> bool) ->
+  Ccs.Instance.t ->
+  Ccs.Instance.t

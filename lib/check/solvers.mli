@@ -1,0 +1,60 @@
+(** Registry of all solvers of the reproduction, with the certificates the
+    differential oracle cross-checks: per run a validated makespan, a
+    certified lower bound on the regime optimum, and a certified upper bound
+    on the makespan; per solver the invariance flags the metamorphic checks
+    may rely on. *)
+
+type regime = Splittable | Preemptive | Nonpreemptive
+
+val regime_name : regime -> string
+
+(** Position in the dominance chain
+    [OPT_splittable <= OPT_preemptive <= OPT_nonpreemptive]. *)
+val regime_rank : regime -> int
+
+type run = {
+  makespan : Rat.t;  (** as recomputed by the Schedule validator *)
+  lower : Rat.t;  (** certified lower bound on this regime's optimum *)
+  upper : Rat.t;  (** certified upper bound on this run's makespan *)
+  witness : Rat.t;  (** accepted guess T (the optimum itself when exact) *)
+}
+
+type outcome =
+  | Solved of run
+  | Skipped of string  (** solver declined (budget, size) — not a violation *)
+  | Invalid of string  (** the regime validator rejected the schedule *)
+  | Crashed of string  (** unexpected exception *)
+
+(** Applicability gates: the exact solvers and PTASs only run on instances
+    small enough for the fuzz budget. *)
+type limits = {
+  ptas_n : int;
+  ptas_pre_n : int;  (** the preemptive PTAS (layers + flows) is the heaviest *)
+  ptas_classes : int;
+  ptas_machines : int;
+  exact_cm : int;  (** splittable MILP: cap on C * m *)
+  exact_nm : int;  (** preemptive MILP: cap on n * m *)
+  bnb_n : int;
+  bnb_nodes : int;
+  brute_n : int;
+}
+
+val default_limits : limits
+
+type solver = {
+  name : string;
+  regime : regime;
+  exact : bool;
+  ratio : Rat.t;  (** certified worst-case makespan / same-regime optimum *)
+  scale_exact : bool;  (** makespan commutes exactly with scaling all p_j *)
+  perm_exact : bool;  (** makespan invariant under class-id/job permutation *)
+  mono_machines : bool;  (** adding a machine never increases the makespan *)
+  witness_growth : Rat.t;
+      (** adding a machine keeps [witness' <= witness_growth * witness] *)
+  applicable : limits -> Ccs.Instance.t -> bool;
+  run : Ccs.Instance.t -> outcome;
+}
+
+(** All ten solvers (three regimes x approx/PTAS/exact, plus the brute-force
+    reference), at PTAS accuracy [param]. *)
+val all : ?limits:limits -> Ccs.Ptas.Common.param -> solver list

@@ -9,4 +9,7 @@ let ub_splittable inst =
   let max_load = Array.fold_left max 0 (Instance.class_load inst) in
   Q.mul (Q.of_int (Instance.c inst)) (Q.of_int max_load)
 
-let ub_integral inst = Instance.n inst * Instance.pmax inst
+let ub_integral inst =
+  (* n * pmax overflows native ints for the huge processing times random
+     instances can carry; compute over Bigint-backed rationals instead. *)
+  Q.mul (Q.of_int (Instance.n inst)) (Q.of_int (Instance.pmax inst))

@@ -19,5 +19,7 @@ val lb_preemptive : Instance.t -> Rat.t
     survive huge values. *)
 val ub_splittable : Instance.t -> Rat.t
 
-(** Upper bound [n * pmax] for the integral cases. *)
-val ub_integral : Instance.t -> int
+(** Upper bound [n * pmax] for the integral cases. Returned as an exact
+    rational: the product overflows native ints when [pmax] is near
+    [max_int], which seeded fuzz instances do exercise. *)
+val ub_integral : Instance.t -> Rat.t

@@ -9,6 +9,24 @@ let to_string inst =
   done;
   Buffer.contents buf
 
+(* Fields may be separated by any blank run — files written on Windows
+   (CRLF line endings) or exported from spreadsheets (tab-delimited) parse
+   the same as space-separated ones. *)
+let tokenize line =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (function ' ' | '\t' | '\r' | '\012' -> flush () | ch -> Buffer.add_char buf ch)
+    line;
+  flush ();
+  List.rev !out
+
 let of_string text =
   let lines = String.split_on_char '\n' text in
   let machines = ref None and slots = ref None and jobs = ref [] in
@@ -21,9 +39,7 @@ let of_string text =
           | Some i -> String.sub line 0 i
           | None -> line
         in
-        let tokens =
-          String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "")
-        in
+        let tokens = tokenize line in
         let fail msg = error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
         match tokens with
         | [] -> ()

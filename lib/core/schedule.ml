@@ -9,22 +9,57 @@ type splittable = {
 
 type piece = { job : int; size : Q.t }
 
+module IS = Set.Make (Int)
+
+(* [explicit_block_fold ~init ~add blocks explicit] accumulates, for each
+   entry of [explicit] (by position), [add] over the blocks whose machine
+   range contains that entry's machine. The explicit ids are sorted once and
+   each block touches only the ids inside its range, so the whole pass is
+   O((B + E) log E) instead of the O(B * E) of rescanning all blocks per
+   explicit machine — validation stays linear on fuzz-sized instances. *)
+let explicit_block_fold ~init ~add blocks explicit =
+  let ids = Array.of_list (List.map fst explicit) in
+  let k = Array.length ids in
+  let order = Array.init k Fun.id in
+  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  let sorted = Array.map (fun i -> ids.(i)) order in
+  let acc = Array.make (max 1 k) init in
+  (* first position with sorted.(i) >= x *)
+  let lower_bound x =
+    let lo = ref 0 and hi = ref k in
+    while !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if sorted.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  List.iter
+    (fun b ->
+      let i = ref (lower_bound b.m_start) in
+      while !i < k && sorted.(!i) < b.m_start + b.m_count do
+        let slot = order.(!i) in
+        acc.(slot) <- add acc.(slot) b;
+        incr i
+      done)
+    blocks;
+  acc
+
 let splittable_makespan s =
   let block_max =
     List.fold_left (fun acc b -> Q.max acc b.per_machine) Q.zero s.blocks
   in
   (* A machine can appear in a block and in the explicit list; combine. *)
-  let in_block m =
-    List.fold_left
-      (fun acc b ->
-        if m >= b.m_start && m < b.m_start + b.m_count then Q.add acc b.per_machine
-        else acc)
-      Q.zero s.blocks
+  let block_load =
+    explicit_block_fold ~init:Q.zero
+      ~add:(fun acc b -> Q.add acc b.per_machine)
+      s.blocks s.explicit_machines
   in
+  let pos = ref (-1) in
   List.fold_left
-    (fun acc (m, loads) ->
+    (fun acc (_, loads) ->
+      incr pos;
       let total =
-        List.fold_left (fun t (_, l) -> Q.add t l) (in_block m) loads
+        List.fold_left (fun t (_, l) -> Q.add t l) block_load.(!pos) loads
       in
       Q.max acc total)
     block_max s.explicit_machines
@@ -93,21 +128,22 @@ let validate_splittable inst s =
             (* class-slot constraint per machine: every machine of a block has
                that block's class; explicit machines add their listed classes.
                Explicit machines falling inside blocks combine. *)
-            let distinct_classes m loads =
-              let module IS = Set.Make (Int) in
-              let base =
-                List.fold_left
-                  (fun acc b ->
-                    if m >= b.m_start && m < b.m_start + b.m_count then IS.add b.cls acc
-                    else acc)
-                  IS.empty s.blocks
-              in
-              let all = List.fold_left (fun acc (cls, _) -> IS.add cls acc) base loads in
-              IS.cardinal all
+            let block_classes =
+              explicit_block_fold ~init:IS.empty
+                ~add:(fun acc b -> IS.add b.cls acc)
+                s.blocks s.explicit_machines
             in
+            let pos = ref (-1) in
             let slot_violation =
               List.exists
-                (fun (m, loads) -> distinct_classes m loads > Instance.c inst)
+                (fun (_, loads) ->
+                  incr pos;
+                  let all =
+                    List.fold_left
+                      (fun acc (cls, _) -> IS.add cls acc)
+                      block_classes.(!pos) loads
+                  in
+                  IS.cardinal all > Instance.c inst)
                 s.explicit_machines
             in
             if slot_violation then fail "machine exceeds class slots"
@@ -183,31 +219,41 @@ let validate_preemptive inst sched =
     let n = Instance.n inst in
     let job_pieces = Array.make n [] in
     let ok = ref (Ok ()) in
+    (* The first failure in machine order wins; later machines are not even
+       scanned, so the reported machine/piece is the first offender. *)
+    let set msg = if !ok = Ok () then ok := Error msg in
     Array.iteri
       (fun mi pieces ->
-        (* per-machine checks *)
-        let module IS = Set.Make (Int) in
-        let classes = ref IS.empty in
-        let sorted =
-          List.sort (fun a b -> Q.compare a.start b.start) pieces
-        in
-        let rec disjoint = function
-          | a :: (b :: _ as rest) ->
-              if Q.(Q.add a.start a.len > b.start) then false else disjoint rest
-          | _ -> true
-        in
-        if not (disjoint sorted) then
-          ok := fail (Printf.sprintf "machine %d: overlapping pieces" mi);
-        List.iter
-          (fun pc ->
-            if pc.pjob < 0 || pc.pjob >= n then ok := fail "bad job index";
-            if Q.sign pc.len <= 0 then ok := fail "non-positive piece";
-            if Q.sign pc.start < 0 then ok := fail "negative start";
-            classes := IS.add (Instance.job inst pc.pjob).Instance.cls !classes;
-            job_pieces.(pc.pjob) <- (pc.start, Q.add pc.start pc.len) :: job_pieces.(pc.pjob))
-          pieces;
-        if IS.cardinal !classes > Instance.c inst then
-          ok := fail (Printf.sprintf "machine %d: too many classes" mi))
+        if !ok = Ok () then begin
+          (* per-machine checks *)
+          let classes = ref IS.empty in
+          let sorted =
+            List.sort (fun a b -> Q.compare a.start b.start) pieces
+          in
+          let rec disjoint = function
+            | a :: (b :: _ as rest) ->
+                if Q.(Q.add a.start a.len > b.start) then false else disjoint rest
+            | _ -> true
+          in
+          List.iter
+            (fun pc ->
+              if pc.pjob < 0 || pc.pjob >= n then
+                set (Printf.sprintf "machine %d: bad job index" mi)
+              else begin
+                if Q.sign pc.len <= 0 then
+                  set (Printf.sprintf "machine %d: non-positive piece" mi);
+                if Q.sign pc.start < 0 then
+                  set (Printf.sprintf "machine %d: negative start" mi);
+                classes := IS.add (Instance.job inst pc.pjob).Instance.cls !classes;
+                job_pieces.(pc.pjob) <-
+                  (pc.start, Q.add pc.start pc.len) :: job_pieces.(pc.pjob)
+              end)
+            pieces;
+          if not (disjoint sorted) then
+            set (Printf.sprintf "machine %d: overlapping pieces" mi);
+          if IS.cardinal !classes > Instance.c inst then
+            set (Printf.sprintf "machine %d: too many classes" mi)
+        end)
       sched;
     match !ok with
     | Error _ as e -> e
@@ -255,10 +301,12 @@ let validate_nonpreemptive inst assignment =
   if Array.length assignment <> Instance.n inst then Error "wrong assignment length"
   else begin
     let bad = ref None in
+    (* keep the first offender (lowest job, then lowest machine) *)
+    let set msg = if !bad = None then bad := Some msg in
     let machine_classes : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
     Array.iteri
       (fun j mi ->
-        if mi < 0 || mi >= Instance.m inst then bad := Some (Printf.sprintf "job %d: bad machine" j)
+        if mi < 0 || mi >= Instance.m inst then set (Printf.sprintf "job %d: bad machine" j)
         else begin
           let tbl =
             match Hashtbl.find_opt machine_classes mi with
@@ -271,11 +319,16 @@ let validate_nonpreemptive inst assignment =
           Hashtbl.replace tbl (Instance.job inst j).Instance.cls ()
         end)
       assignment;
-    Hashtbl.iter
-      (fun mi tbl ->
-        if Hashtbl.length tbl > Instance.c inst then
-          bad := Some (Printf.sprintf "machine %d: %d classes > c" mi (Hashtbl.length tbl)))
-      machine_classes;
+    let overfull =
+      Hashtbl.fold
+        (fun mi tbl acc ->
+          if Hashtbl.length tbl > Instance.c inst then (mi, Hashtbl.length tbl) :: acc
+          else acc)
+        machine_classes []
+    in
+    (match List.sort compare overfull with
+    | (mi, k) :: _ -> set (Printf.sprintf "machine %d: %d classes > c" mi k)
+    | [] -> ());
     match !bad with
     | Some msg -> Error msg
     | None -> Ok (nonpreemptive_makespan inst assignment)

@@ -1,0 +1,274 @@
+(* Ccs_check tests: the oracle catches deliberately broken solvers (bad
+   certificates, invalid schedules, false invariance claims), the metamorphic
+   transforms preserve well-formedness and the promised structure, the
+   shrinker only visits schedulable instances and is idempotent, and a seeded
+   end-to-end fuzz batch over the real solvers reports zero violations. *)
+
+module Q = Rat
+module I = Ccs.Instance
+module Prng = Ccs_util.Prng
+module Solvers = Ccs_check.Solvers
+module Oracle = Ccs_check.Oracle
+module Morph = Ccs_check.Morph
+module Shrink = Ccs_check.Shrink
+module Runner = Ccs_check.Runner
+
+let param = Ccs.Ptas.Common.param 2
+let inst_of jobs ~machines ~slots = I.make ~machines ~slots jobs
+
+let small = inst_of [ (3, 0); (4, 1); (5, 0); (2, 1) ] ~machines:2 ~slots:2
+
+let has ~check ?solver vs =
+  List.exists
+    (fun (v : Oracle.violation) ->
+      v.Oracle.check = check
+      && match solver with None -> true | Some s -> v.Oracle.solver = s)
+    vs
+
+(* A stub solver template; individual tests override the lying parts. *)
+let stub ?(name = "inject/stub") ?(regime = Solvers.Splittable) run =
+  {
+    Solvers.name;
+    regime;
+    exact = false;
+    ratio = Q.of_int 1000;
+    scale_exact = false;
+    perm_exact = false;
+    mono_machines = false;
+    witness_growth = Q.of_int 1000;
+    applicable = (fun _ _ -> true);
+    run;
+  }
+
+(* ---------- the oracle catches injected bugs ---------- *)
+
+let test_oracle_catches_bad_guarantee () =
+  (* claims makespan <= 1 but reports makespan 10 *)
+  let bad =
+    stub (fun _ ->
+        Solvers.Solved
+          {
+            Solvers.makespan = Q.of_int 10;
+            lower = Q.one;
+            upper = Q.one;
+            witness = Q.one;
+          })
+  in
+  let _, vs = Oracle.check_with ~metamorphic:false ~mseed:1 ~solvers:[ bad ] small in
+  Alcotest.(check bool) "guarantee violation" true (has ~check:"guarantee" vs)
+
+let test_oracle_catches_bad_lower_bound () =
+  (* certifies OPT_splittable >= 1000, contradicting every real solver *)
+  let lying =
+    stub (fun _ ->
+        Solvers.Solved
+          {
+            Solvers.makespan = Q.of_int 1000;
+            lower = Q.of_int 1000;
+            upper = Q.of_int 1000;
+            witness = Q.of_int 1000;
+          })
+  in
+  let solvers = lying :: Solvers.all param in
+  let _, vs = Oracle.check_with ~metamorphic:false ~mseed:1 ~solvers small in
+  Alcotest.(check bool) "cross-lb violation" true (has ~check:"cross-lb" vs)
+
+let test_oracle_catches_invalid_schedule () =
+  let invalid = stub (fun _ -> Solvers.Invalid "oversubscribed machine") in
+  let _, vs = Oracle.check_with ~metamorphic:false ~mseed:1 ~solvers:[ invalid ] small in
+  Alcotest.(check bool) "validator violation" true
+    (has ~check:"validator" ~solver:"inject/stub" vs)
+
+let test_oracle_catches_false_scale_claim () =
+  (* claims exact scale equivariance but always answers the same numbers *)
+  let constant =
+    {
+      (stub (fun _ ->
+           Solvers.Solved
+             {
+               Solvers.makespan = Q.of_int 7;
+               lower = Q.one;
+               upper = Q.of_int 100;
+               witness = Q.of_int 7;
+             }))
+      with
+      Solvers.scale_exact = true;
+    }
+  in
+  let _, vs = Oracle.check_with ~metamorphic:true ~mseed:1 ~solvers:[ constant ] small in
+  Alcotest.(check bool) "scale violation" true
+    (has ~check:"scale/equivariance" vs || has ~check:"scale/witness" vs)
+
+let test_oracle_catches_makespan_below_lb () =
+  (* impossibly good: below sum p / m *)
+  let magic =
+    stub (fun _ ->
+        Solvers.Solved
+          {
+            Solvers.makespan = Q.one;
+            lower = Q.one;
+            upper = Q.of_int 100;
+            witness = Q.one;
+          })
+  in
+  let _, vs = Oracle.check_with ~metamorphic:false ~mseed:1 ~solvers:[ magic ] small in
+  Alcotest.(check bool) "regime-lb violation" true (has ~check:"regime-lb" vs)
+
+let test_oracle_clean_on_real_solvers () =
+  let _, vs = Oracle.check ~param ~metamorphic:true ~mseed:5 small in
+  Alcotest.(check int) "no violations" 0 (List.length vs)
+
+(* ---------- metamorphic transforms ---------- *)
+
+let arb_instance =
+  let gen st =
+    let seed = QCheck.Gen.int_range 0 1_000_000 st in
+    let rng = Prng.stream ~seed ~index:0 in
+    Runner.gen_instance rng ~max_n:12
+  in
+  QCheck.make ~print:Ccs.Io.to_string gen
+
+let prop_transforms_preserve_wellformedness =
+  QCheck.Test.make ~name:"metamorphic variants stay schedulable" ~count:80
+    arb_instance (fun inst ->
+      List.for_all
+        (fun t -> I.schedulable (Morph.apply t inst))
+        (Morph.probes ~mseed:3 inst))
+
+let prop_scale_scales_sizes =
+  QCheck.Test.make ~name:"Scale k multiplies every p_j by k" ~count:80 arb_instance
+    (fun inst ->
+      let inst' = Morph.apply (Morph.Scale 3) inst in
+      I.n inst' = I.n inst
+      && List.for_all2
+           (fun (p, c) (p', c') -> p' = 3 * p && c' = c)
+           (Morph.jobs_of inst) (Morph.jobs_of inst'))
+
+let prop_permute_preserves_multiset =
+  QCheck.Test.make ~name:"Permute preserves the job-size multiset" ~count:80
+    arb_instance (fun inst ->
+      let inst' = Morph.apply (Morph.Permute 11) inst in
+      let sizes i = List.sort compare (List.map fst (Morph.jobs_of i)) in
+      I.n inst' = I.n inst
+      && I.m inst' = I.m inst
+      && I.c inst' = I.c inst
+      && I.num_classes inst' = I.num_classes inst
+      && sizes inst' = sizes inst)
+
+let prop_add_machine_keeps_jobs =
+  QCheck.Test.make ~name:"Add_machine only adds a machine" ~count:80 arb_instance
+    (fun inst ->
+      let inst' = Morph.apply Morph.Add_machine inst in
+      I.m inst' = I.m inst + 1 && Morph.jobs_of inst' = Morph.jobs_of inst)
+
+(* ---------- shrinker ---------- *)
+
+let prop_candidates_schedulable =
+  QCheck.Test.make ~name:"shrink candidates are schedulable" ~count:80 arb_instance
+    (fun inst -> List.for_all I.schedulable (Shrink.candidates inst))
+
+let test_shrink_reaches_small_witness () =
+  (* predicate: at least 3 jobs of class 0 — minimal witness has exactly 3
+     jobs, all of class 0, unit sizes, 1 machine *)
+  let inst =
+    inst_of
+      [ (8, 0); (9, 0); (2, 1); (7, 0); (5, 1); (3, 2); (6, 0) ]
+      ~machines:3 ~slots:2
+  in
+  let violates i =
+    List.length (List.filter (fun (_, c) -> c = 0) (Morph.jobs_of i)) >= 3
+  in
+  let shrunk = Shrink.shrink ~max_tests:2000 ~violates inst in
+  Alcotest.(check bool) "still violates" true (violates shrunk);
+  Alcotest.(check int) "3 jobs left" 3 (I.n shrunk);
+  Alcotest.(check int) "1 machine left" 1 (I.m shrunk);
+  List.iter (fun (p, _) -> Alcotest.(check int) "unit size" 1 p) (Morph.jobs_of shrunk)
+
+let test_shrink_idempotent () =
+  let inst =
+    inst_of [ (8, 0); (9, 1); (2, 2); (7, 0); (5, 1); (3, 2) ] ~machines:3 ~slots:2
+  in
+  let violates i = I.n i >= 2 && I.num_classes i >= 2 in
+  let once = Shrink.shrink ~violates inst in
+  let twice = Shrink.shrink ~violates once in
+  Alcotest.(check string) "fixpoint" (Ccs.Io.to_string once) (Ccs.Io.to_string twice)
+
+let test_shrink_respects_budget () =
+  let probes = ref 0 in
+  let inst = inst_of (List.init 20 (fun i -> (i + 1, i mod 4))) ~machines:4 ~slots:2 in
+  let violates _ =
+    incr probes;
+    true
+  in
+  ignore (Shrink.shrink ~max_tests:25 ~violates inst);
+  Alcotest.(check bool) "budget respected" true (!probes <= 25)
+
+(* ---------- end to end ---------- *)
+
+let test_seeded_run_clean () =
+  let config = { Runner.default_config with Runner.count = 6; max_n = 12 } in
+  let report = Runner.run config in
+  Alcotest.(check int) "checked" 6 report.Runner.checked;
+  Alcotest.(check int) "no cases" 0 (List.length report.Runner.cases);
+  (* every solver appears in the tally and the ungated ones ran every time *)
+  Alcotest.(check int) "tally size" 10 (List.length report.Runner.tallies);
+  List.iter
+    (fun (t : Oracle.tally) ->
+      match t.Oracle.name with
+      | "splittable/approx2" | "preemptive/approx2" | "nonpreemptive/approx73" ->
+          Alcotest.(check int) (t.Oracle.name ^ " always runs") 6 t.Oracle.solved
+      | _ -> ())
+    report.Runner.tallies
+
+let test_render_case_is_self_contained () =
+  let config = { Runner.default_config with Runner.seed = 9 } in
+  let case =
+    {
+      Runner.index = 4;
+      violation = { Oracle.check = "guarantee"; solver = "splittable/approx2"; detail = "d" };
+      instance = small;
+      original = small;
+    }
+  in
+  let text = Runner.render_case config case in
+  let contains sub =
+    let n = String.length text and k = String.length sub in
+    let rec at i = i + k <= n && (String.sub text i k = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "names the check" true (contains "guarantee");
+  Alcotest.(check bool) "replay line" true (contains "ccs_fuzz --seed 9");
+  Alcotest.(check bool) "embeds the instance" true (contains "job 3 0")
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "check"
+    [ ( "oracle",
+        [ Alcotest.test_case "catches bad guarantee" `Quick
+            test_oracle_catches_bad_guarantee;
+          Alcotest.test_case "catches lying lower bound" `Quick
+            test_oracle_catches_bad_lower_bound;
+          Alcotest.test_case "catches invalid schedule" `Quick
+            test_oracle_catches_invalid_schedule;
+          Alcotest.test_case "catches false scale claim" `Quick
+            test_oracle_catches_false_scale_claim;
+          Alcotest.test_case "catches sub-LB makespan" `Quick
+            test_oracle_catches_makespan_below_lb;
+          Alcotest.test_case "clean on the real solvers" `Quick
+            test_oracle_clean_on_real_solvers ] );
+      ( "morph",
+        [ q prop_transforms_preserve_wellformedness;
+          q prop_scale_scales_sizes;
+          q prop_permute_preserves_multiset;
+          q prop_add_machine_keeps_jobs ] );
+      ( "shrink",
+        [ q prop_candidates_schedulable;
+          Alcotest.test_case "reaches the minimal witness" `Quick
+            test_shrink_reaches_small_witness;
+          Alcotest.test_case "idempotent" `Quick test_shrink_idempotent;
+          Alcotest.test_case "respects the probe budget" `Quick
+            test_shrink_respects_budget ] );
+      ( "e2e",
+        [ Alcotest.test_case "seeded batch is clean" `Slow test_seeded_run_clean;
+          Alcotest.test_case "render_case is self-contained" `Quick
+            test_render_case_is_self_contained ] ) ]

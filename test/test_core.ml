@@ -131,11 +131,71 @@ let test_validate_preemptive () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "machine overlap not caught"
 
+let test_preemptive_first_error_wins () =
+  (* two offending machines: the report must name machine 0, not the last *)
+  let inst = mk ~machines:3 ~slots:2 [ (4, 0); (4, 1); (4, 2) ] in
+  let bad : S.preemptive =
+    [| [ { S.pjob = 0; start = Q.zero; len = Q.of_int 3 };
+         { S.pjob = 0; start = Q.of_int 2; len = Q.of_int 1 } ];
+       [ { S.pjob = 1; start = Q.zero; len = Q.of_int 3 };
+         { S.pjob = 1; start = Q.of_int 2; len = Q.of_int 1 } ];
+       [ { S.pjob = 2; start = Q.zero; len = Q.of_int 4 } ] |]
+  in
+  (match S.validate_preemptive inst bad with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reports machine 0 (got %S)" msg)
+        true
+        (String.length msg >= 9 && String.sub msg 0 9 = "machine 0")
+  | Ok _ -> Alcotest.fail "overlap not caught");
+  (* a piece with an out-of-range job index must report, not crash *)
+  let oob : S.preemptive = [| [ { S.pjob = 9; start = Q.zero; len = Q.of_int 4 } ] |] in
+  match S.validate_preemptive inst oob with
+  | Error msg -> Alcotest.(check bool) "bad index reported" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "bad job index not caught"
+
+let test_nonpreemptive_first_error_wins () =
+  let inst = mk ~machines:4 ~slots:1 [ (1, 0); (1, 1); (1, 2); (1, 3) ] in
+  (* machines 1 and 2 both exceed c = 1; deterministic report: machine 1 *)
+  match S.validate_nonpreemptive inst [| 1; 1; 2; 2 |] with
+  | Error msg -> Alcotest.(check string) "first machine" "machine 1: 2 classes > c" msg
+  | Ok _ -> Alcotest.fail "slot violation not caught"
+
+let test_splittable_block_explicit_combination () =
+  (* explicit machines inside a block combine loads and classes; makespan and
+     the slot check must see the combined view (exercises the one-pass
+     block-load precomputation) *)
+  let inst = mk ~machines:4 ~slots:2 [ (12, 0); (5, 1); (3, 2) ] in
+  let sched =
+    {
+      S.blocks = [ { S.cls = 0; m_start = 0; m_count = 3; per_machine = Q.of_int 4 } ];
+      explicit_machines = [ (1, [ (1, Q.of_int 5) ]); (3, [ (2, Q.of_int 3) ]) ];
+    }
+  in
+  (match S.validate_splittable inst sched with
+  | Ok mk -> Alcotest.check q "combined makespan" (Q.of_int 9) mk
+  | Error e -> Alcotest.fail e);
+  (* same shape but with c = 1: machine 1 now holds classes {0, 1} *)
+  let inst1 = mk ~machines:4 ~slots:1 [ (12, 0); (5, 1); (3, 2) ] in
+  match S.validate_splittable inst1 sched with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "block+explicit slot violation not caught"
+
 let test_bounds () =
   let inst = mk ~machines:4 ~slots:2 [ (8, 0); (4, 1); (4, 2) ] in
   Alcotest.check q "lb split" (Q.of_int 4) (Ccs.Bounds.lb_splittable inst);
   Alcotest.check q "lb pre" (Q.of_int 8) (Ccs.Bounds.lb_preemptive inst);
-  Alcotest.(check int) "ub integral" 24 (Ccs.Bounds.ub_integral inst)
+  Alcotest.check q "ub integral" (Q.of_int 24) (Ccs.Bounds.ub_integral inst)
+
+let test_ub_integral_no_overflow () =
+  (* three jobs near max_int: n * pmax wraps in native arithmetic but must
+     come back exact (and in particular positive and > max_int) *)
+  let big = max_int - 7 in
+  let inst = mk ~machines:2 ~slots:2 [ (big, 0); (big, 1); (big, 0) ] in
+  let ub = Ccs.Bounds.ub_integral inst in
+  Alcotest.(check bool) "positive" true (Q.sign ub > 0);
+  Alcotest.(check bool) "exceeds max_int" true Q.(ub > Q.of_int max_int);
+  Alcotest.check q "exact value" (Q.mul (Q.of_int 3) (Q.of_int big)) ub
 
 let test_io_roundtrip () =
   let inst = mk ~machines:7 ~slots:2 [ (3, 0); (5, 1); (2, 0) ] in
@@ -146,6 +206,31 @@ let test_io_roundtrip () =
       Alcotest.(check int) "c" (I.c inst) (I.c inst');
       Alcotest.(check (array int)) "loads" (I.class_load inst) (I.class_load inst')
   | Error e -> Alcotest.fail e
+
+let test_io_blank_delimiters () =
+  (* CRLF line endings and tab-delimited fields parse like plain spaces *)
+  let crlf = "ccs 1\r\nmachines 2\r\nslots 2\r\njob 3 1\r\njob 4 0\r\n" in
+  (match Ccs.Io.of_string crlf with
+  | Ok inst ->
+      Alcotest.(check int) "crlf n" 2 (I.n inst);
+      Alcotest.(check int) "crlf m" 2 (I.m inst)
+  | Error e -> Alcotest.fail ("CRLF rejected: " ^ e));
+  let tabs = "ccs\t1\nmachines\t2\nslots\t2\njob\t3\t1\njob 4\t0\n" in
+  (match Ccs.Io.of_string tabs with
+  | Ok inst ->
+      Alcotest.(check int) "tabs n" 2 (I.n inst);
+      Alcotest.(check (array int)) "tabs loads" [| 4; 3 |] (I.class_load inst)
+  | Error e -> Alcotest.fail ("tabs rejected: " ^ e));
+  (* round trip through to_string survives re-parsing after a CRLF rewrite *)
+  let inst = mk ~machines:3 ~slots:2 [ (5, 0); (2, 1); (9, 1) ] in
+  let windows =
+    String.concat "\r\n" (String.split_on_char '\n' (Ccs.Io.to_string inst))
+  in
+  match Ccs.Io.of_string windows with
+  | Ok inst' ->
+      Alcotest.(check int) "roundtrip n" (I.n inst) (I.n inst');
+      Alcotest.(check (array int)) "roundtrip loads" (I.class_load inst) (I.class_load inst')
+  | Error e -> Alcotest.fail ("CRLF roundtrip rejected: " ^ e)
 
 let test_io_errors () =
   (match Ccs.Io.of_string "garbage" with Error _ -> () | Ok _ -> Alcotest.fail "garbage accepted");
@@ -255,10 +340,20 @@ let () =
         [ Alcotest.test_case "non-preemptive validator" `Quick test_validate_nonpreemptive;
           Alcotest.test_case "splittable validator" `Quick test_validate_splittable;
           Alcotest.test_case "job-piece decoding" `Quick test_to_job_pieces;
-          Alcotest.test_case "preemptive validator" `Quick test_validate_preemptive ] );
-      ("bounds", [ Alcotest.test_case "values" `Quick test_bounds ]);
+          Alcotest.test_case "preemptive validator" `Quick test_validate_preemptive;
+          Alcotest.test_case "preemptive first error wins" `Quick
+            test_preemptive_first_error_wins;
+          Alcotest.test_case "non-preemptive first error wins" `Quick
+            test_nonpreemptive_first_error_wins;
+          Alcotest.test_case "block+explicit combination" `Quick
+            test_splittable_block_explicit_combination ] );
+      ( "bounds",
+        [ Alcotest.test_case "values" `Quick test_bounds;
+          Alcotest.test_case "ub_integral no overflow" `Quick
+            test_ub_integral_no_overflow ] );
       ( "io",
         [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "blank delimiters" `Quick test_io_blank_delimiters;
           Alcotest.test_case "errors" `Quick test_io_errors ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
