@@ -9,8 +9,9 @@ let fam_name = function
   | Zipf -> "zipf"
   | Heavy_classes -> "heavy"
   | Large_jobs -> "large"
+  | Lp_stress -> "lp-stress"
 
-let families = Ccs.Generator.[ Uniform; Zipf; Heavy_classes; Large_jobs ]
+let families = Ccs.Generator.[ Uniform; Zipf; Heavy_classes; Large_jobs; Lp_stress ]
 
 (* A schedulable random instance: C is clamped under c*m and n. *)
 let instance ~seed ~family ~n ~classes ~machines ~slots ~p_hi =

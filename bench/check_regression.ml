@@ -17,7 +17,7 @@
 module J = Ccs_obs.Jsonx
 
 let baseline_path = "BENCH_baseline.json"
-let reps = 3
+let reps = 5
 
 let tolerance =
   match Sys.getenv_opt "CCS_BENCH_TOLERANCE" with
@@ -47,9 +47,12 @@ let phases =
     ("approx_preemptive", times 10 (fun () -> ignore (Ccs.Approx.Preemptive.solve approx)));
     ("approx_nonpreemptive",
      times 10 (fun () -> ignore (Ccs.Approx.Nonpreemptive.solve approx)));
-    ("ptas_splittable", fun () -> ignore (Ccs.Ptas.Splittable_ptas.solve param small));
+    (* the warm-started simplex left a single PTAS solve sub-millisecond,
+       so these repeat enough to stay a few ms above scheduler noise *)
+    ("ptas_splittable",
+     times 20 (fun () -> ignore (Ccs.Ptas.Splittable_ptas.solve param small)));
     ("ptas_nonpreemptive",
-     times 5 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
+     times 50 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
   ]
 
 let time_phase f =
@@ -78,13 +81,41 @@ let calibrate () =
 
 let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
 
+(* Deterministic solver-effort counters over a fixed PTAS workload. Unlike
+   walls these are exact and machine-independent, so they are compared
+   unscaled: lp.phase1_iterations guards the simplex crash-basis/warm-start
+   machinery (a cold-start regression shows up here long before it moves a
+   noisy wall), and rat.promotions guards the small-int fast path (a single
+   careless magnitude blow-up sends the hot numbers to the Bigint arm). *)
+let counter_names = [ "lp.phase1_iterations"; "rat.promotions" ]
+
+let measure_counters () =
+  let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
+  let param = Ccs.Ptas.Common.param 1 in
+  Ccs_obs.Metrics.reset ();
+  ignore (Ccs.Ptas.Splittable_ptas.solve param small);
+  ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small);
+  let snap = Ccs_obs.Metrics.snapshot ~all:true () in
+  List.map
+    (fun name ->
+      match Option.bind (List.assoc_opt name snap) (function
+        | J.Int i -> Some i
+        | _ -> None) with
+      | Some v -> (name, v)
+      | None ->
+          Printf.eprintf "counter %S missing from the metrics registry\n" name;
+          exit 2)
+    counter_names
+
 let write_baseline () =
   let cal = calibrate () in
   let walls = measure () in
+  let counters = measure_counters () in
   let json =
     J.Obj
       [ ("calibration_s", J.Float cal);
-        ("phases", J.Obj (List.map (fun (n, w) -> (n, J.Float w)) walls)) ]
+        ("phases", J.Obj (List.map (fun (n, w) -> (n, J.Float w)) walls));
+        ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) counters)) ]
   in
   Out_channel.with_open_text baseline_path (fun oc ->
       Out_channel.output_string oc (J.to_string json);
@@ -115,18 +146,30 @@ let read_baseline () =
             Printf.eprintf "%s: missing \"calibration_s\"\n" baseline_path;
             exit 2
       in
+      let counters =
+        (* absent in baselines written before the counter gate existed *)
+        match J.member "counters" json with
+        | Some (J.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> match v with J.Int i -> Some (k, i) | _ -> None)
+              kvs
+        | _ -> []
+      in
       match J.member "phases" json with
       | Some (J.Obj kvs) ->
-          (cal, List.filter_map (fun (k, v) -> Option.map (fun w -> (k, w)) (number v)) kvs)
+          ( cal,
+            List.filter_map (fun (k, v) -> Option.map (fun w -> (k, w)) (number v)) kvs,
+            counters )
       | _ ->
           Printf.eprintf "%s: missing \"phases\" object\n" baseline_path;
           exit 2)
 
 let compare_runs () =
-  let base_cal, base = read_baseline () in
+  let base_cal, base, base_counters = read_baseline () in
   let cal = calibrate () in
   let scale = cal /. base_cal in
   let current = measure () in
+  let current_counters = measure_counters () in
   let regressed = ref [] in
   Printf.printf "machine speed vs baseline: %.2fx (calibration %.4fs vs %.4fs)\n" scale cal
     base_cal;
@@ -148,6 +191,20 @@ let compare_runs () =
       if not (List.mem_assoc name current) then
         Printf.printf "%-22s (phase no longer measured)\n" name)
     base;
+  (* counters are exact: no machine-speed scaling, same relative tolerance *)
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name base_counters with
+      | None -> Printf.printf "%-22s %12s %12d %9s\n" name "(new)" v "-"
+      | Some b ->
+          let delta =
+            if b = 0 then if v = 0 then 0.0 else infinity
+            else float_of_int (v - b) /. float_of_int b
+          in
+          let flag = if delta > tolerance then " REGRESSED" else "" in
+          if delta > tolerance then regressed := name :: !regressed;
+          Printf.printf "%-22s %12d %12d %+8.1f%%%s\n" name b v (100.0 *. delta) flag)
+    current_counters;
   if !regressed = [] then
     Printf.printf "ok: no phase regressed by more than %.0f%%\n" (100.0 *. tolerance)
   else begin

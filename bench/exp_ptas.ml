@@ -49,8 +49,8 @@ let e6 () =
                       | Ok mk -> Q.to_float mk /. Q.to_float opt
                     in
                     let t_ok =
-                      Q.(stats.Ccs.Ptas.Splittable_ptas.t_accepted
-                         <= Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) opt)
+                      let t_accepted = stats.Ccs.Ptas.Splittable_ptas.t_accepted in
+                      Q.(t_accepted <= Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) opt)
                     in
                     Some (ratio, float_of_int stats.Ccs.Ptas.Splittable_ptas.ilp_vars, t_ok))
               instances)
@@ -119,8 +119,8 @@ let e7 () =
                             float_of_int mk /. float_of_int amk )
                     in
                     let t_ok =
-                      Q.(stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted
-                         <= Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) (Q.of_int opt))
+                      let t_accepted = stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted in
+                      Q.(t_accepted <= Q.mul (Q.add Q.one (Ccs.Ptas.Common.delta p)) (Q.of_int opt))
                     in
                     Some (row, t_ok))
               instances)

@@ -10,7 +10,29 @@
 
 open Cmdliner
 
-let run seed count epsilon jobs max_n no_metamorphic no_shrink verbose obs =
+let family_conv =
+  let parse = function
+    | "uniform" -> Ok Ccs.Generator.Uniform
+    | "zipf" -> Ok Ccs.Generator.Zipf
+    | "heavy" -> Ok Ccs.Generator.Heavy_classes
+    | "large" -> Ok Ccs.Generator.Large_jobs
+    | "lp-stress" -> Ok Ccs.Generator.Lp_stress
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large|lp-stress)" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Ccs.Generator.Uniform -> "uniform"
+      | Zipf -> "zipf"
+      | Heavy_classes -> "heavy"
+      | Large_jobs -> "large"
+      | Lp_stress -> "lp-stress")
+  in
+  Arg.conv (parse, print)
+
+let run seed count epsilon jobs max_n family no_metamorphic no_shrink verbose obs =
   Obs_cli.with_reporting obs @@ fun () ->
   if jobs < 1 then begin
     Printf.eprintf "error: --jobs must be >= 1\n";
@@ -33,6 +55,7 @@ let run seed count epsilon jobs max_n no_metamorphic no_shrink verbose obs =
         metamorphic = not no_metamorphic;
         shrink = not no_shrink;
         max_n;
+        family;
       }
     in
     let report = Ccs_check.Runner.run config in
@@ -70,6 +93,12 @@ let cmd =
     Arg.(value & opt int Ccs_check.Runner.default_config.Ccs_check.Runner.max_n
            & info [ "max-n" ] ~doc:"Cap on generated instance size.")
   in
+  let family =
+    Arg.(value & opt (some family_conv) None
+           & info [ "family" ]
+               ~doc:"Pin every instance to one workload family (uniform, zipf, heavy, \
+                     large or lp-stress) instead of drawing it per index.")
+  in
   let no_metamorphic = Arg.(value & flag & info [ "no-metamorphic" ] ~doc:"Skip the metamorphic (scale/permute/add-machine) probes.") in
   let no_shrink = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report original instances instead of shrunk repros.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-solver solved/skipped tally.") in
@@ -87,6 +116,6 @@ let cmd =
         ]
   in
   Cmd.v info
-    Term.(const run $ seed $ count $ epsilon $ jobs $ max_n $ no_metamorphic $ no_shrink $ verbose $ Obs_cli.term)
+    Term.(const run $ seed $ count $ epsilon $ jobs $ max_n $ family $ no_metamorphic $ no_shrink $ verbose $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,10 @@ let family_conv =
     | "zipf" -> Ok Ccs.Generator.Zipf
     | "heavy" -> Ok Ccs.Generator.Heavy_classes
     | "large" -> Ok Ccs.Generator.Large_jobs
-    | s -> Error (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large)" s))
+    | "lp-stress" -> Ok Ccs.Generator.Lp_stress
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large|lp-stress)" s))
   in
   let print fmt f =
     Format.pp_print_string fmt
@@ -16,7 +19,8 @@ let family_conv =
       | Ccs.Generator.Uniform -> "uniform"
       | Zipf -> "zipf"
       | Heavy_classes -> "heavy"
-      | Large_jobs -> "large")
+      | Large_jobs -> "large"
+      | Lp_stress -> "lp-stress")
   in
   Arg.conv (parse, print)
 

@@ -18,6 +18,7 @@ type config = {
   shrink : bool;
   max_n : int;
   max_shrink_tests : int;
+  family : Ccs.Generator.family option;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     shrink = true;
     max_n = 24;
     max_shrink_tests = 300;
+    family = None;
   }
 
 type case = {
@@ -45,7 +47,7 @@ type report = {
   cases : case list;
 }
 
-let families = [| Ccs.Generator.Uniform; Zipf; Heavy_classes; Large_jobs |]
+let families = [| Ccs.Generator.Uniform; Zipf; Heavy_classes; Large_jobs; Lp_stress |]
 
 (* Mostly small processing times (where the combinatorics live), sometimes
    large ones (where overflow bugs live). *)
@@ -57,7 +59,10 @@ let draw_p_hi rng =
   | k when k < 15 -> 100
   | _ -> 10
 
-let gen_instance rng ~max_n =
+let gen_instance ?family rng ~max_n =
+  (* draw the family even when pinned, so pinned and unpinned runs consume
+     the same PRNG stream and an index replays identically in both *)
+  let drawn = families.(Prng.int rng (Array.length families)) in
   let spec =
     {
       Ccs.Generator.n = 1 + Prng.int rng max_n;
@@ -66,7 +71,7 @@ let gen_instance rng ~max_n =
       slots = 1 + Prng.int rng 4;
       p_lo = 1;
       p_hi = draw_p_hi rng;
-      family = families.(Prng.int rng (Array.length families));
+      family = (match family with Some f -> f | None -> drawn);
     }
   in
   let inst = Ccs.Generator.generate ~seed:(Prng.next_int rng) spec in
@@ -94,7 +99,7 @@ let single_solver_check check =
 
 let check_index config index =
   let rng = Prng.stream ~seed:config.seed ~index in
-  let inst = gen_instance rng ~max_n:config.max_n in
+  let inst = gen_instance ?family:config.family rng ~max_n:config.max_n in
   let mseed = Prng.next_int rng in
   let solvers = Solvers.all ~limits:config.limits config.param in
   let tallies, violations =

@@ -13,9 +13,13 @@ type config = {
   shrink : bool;
   max_n : int;  (** cap on generated instance size *)
   max_shrink_tests : int;
+  family : Ccs.Generator.family option;
+      (** [Some f] pins every instance to family [f] (the LP-stress sweep
+          uses this); [None] draws the family per index *)
 }
 
-(** seed 1, count 100, PTAS delta = 1/2, metamorphic + shrinking on. *)
+(** seed 1, count 100, PTAS delta = 1/2, metamorphic + shrinking on,
+    family drawn per index. *)
 val default_config : config
 
 type case = {
@@ -32,8 +36,11 @@ type report = {
 }
 
 (** The instance drawn for one index (exposed for tests and replay
-    tooling); draws from [rng] exactly as the fuzzing loop does. *)
-val gen_instance : Ccs_util.Prng.t -> max_n:int -> Ccs.Instance.t
+    tooling); draws from [rng] exactly as the fuzzing loop does. The
+    family draw happens even when [family] overrides it, so pinned and
+    unpinned runs stay stream-aligned. *)
+val gen_instance :
+  ?family:Ccs.Generator.family -> Ccs_util.Prng.t -> max_n:int -> Ccs.Instance.t
 
 (** One index of the loop: generate, check, shrink. [run] is exactly a
     parallel map of this over [0, count). *)

@@ -1,6 +1,6 @@
 module Prng = Ccs_util.Prng
 
-type family = Uniform | Zipf | Heavy_classes | Large_jobs
+type family = Uniform | Zipf | Heavy_classes | Large_jobs | Lp_stress
 
 type spec = {
   n : int;
@@ -21,6 +21,14 @@ let generate ~seed spec =
   let pick_class =
     match spec.family with
     | Uniform | Large_jobs -> fun () -> Prng.int rng spec.classes
+    | Lp_stress ->
+        (* Round-robin: every class receives the same job-size multiset (up
+           to one job), so classes are interchangeable and the induced
+           configuration LPs carry duplicated columns. *)
+        let next = ref (-1) in
+        fun () ->
+          incr next;
+          !next mod spec.classes
     | Zipf ->
         let weights =
           Array.init spec.classes (fun i -> 1.0 /. float_of_int (i + 1))
@@ -38,6 +46,15 @@ let generate ~seed spec =
   let pick_p =
     match spec.family with
     | Uniform | Zipf | Heavy_classes -> fun () -> Prng.int_in rng spec.p_lo spec.p_hi
+    | Lp_stress ->
+        (* Only two or three distinct sizes in the whole instance: massive
+           ties make every simplex vertex degenerate (many minimum-ratio
+           rows) and the config-LP columns near-singular. *)
+        let palette =
+          [| max spec.p_lo (spec.p_hi / 2); max spec.p_lo (spec.p_hi / 3); spec.p_hi |]
+        in
+        let k = 2 + Prng.int rng 2 in
+        fun () -> palette.(Prng.int rng k)
     | Large_jobs ->
         (* Jobs clustered just above p_hi/2 and just above p_hi/3: the
            regimes distinguished by the non-preemptive C_u^2 computation. *)

@@ -12,6 +12,11 @@ type family =
   | Zipf  (** class popularity ~ 1/rank (data-placement / VoD shape) *)
   | Heavy_classes  (** a few classes hold most of the load *)
   | Large_jobs  (** p concentrated in (T/3, T] for the 7/3 analysis *)
+  | Lp_stress
+      (** interchangeable classes (identical size multisets) and only 2–3
+          distinct job sizes: the induced configuration LPs are degenerate
+          and near-singular, which is exactly what the simplex's
+          anti-cycling and warm-start repair paths have to survive *)
 
 type spec = {
   n : int;

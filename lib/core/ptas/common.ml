@@ -99,7 +99,7 @@ let row_eq coeffs rhs = { coeffs; cmp = Lp.Eq; rhs }
 let row_le coeffs rhs = { coeffs; cmp = Lp.Le; rhs }
 let row_ge coeffs rhs = { coeffs; cmp = Lp.Ge; rhs }
 
-let solve_int_feasibility ?(max_nodes = 50_000) ~nvars ~upper rows =
+let solve_int_feasibility ?(max_nodes = 50_000) ?warm ?basis_out ~nvars ~upper rows =
   let to_q = Q.of_int in
   (* Row conversion (duplicate merging, int -> rational lifting) is flat and
      independent per row; wide configuration IPs ride the pool, small ones
@@ -134,7 +134,7 @@ let solve_int_feasibility ?(max_nodes = 50_000) ~nvars ~upper rows =
       [ Ccs_obs.Log.int "nvars" nvars;
         Ccs_obs.Log.int "rows" (List.length constraints) ]
   @@ fun () ->
-  match Ilp.solve ~max_nodes ~feasibility:true (Ilp.all_integer lp) with
+  match Ilp.solve ~max_nodes ~feasibility:true ?warm ?basis_out (Ilp.all_integer lp) with
   | Ilp.Optimal { solution; _ } ->
       Some (Array.map (fun v -> Bigint.to_int_exn (Q.num v)) solution)
   | Ilp.Infeasible -> None

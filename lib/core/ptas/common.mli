@@ -45,7 +45,13 @@ val row_le : (int * int) list -> int -> row
 val row_ge : (int * int) list -> int -> row
 
 val solve_int_feasibility :
-  ?max_nodes:int -> nvars:int -> upper:int option array -> row list -> int array option
+  ?max_nodes:int ->
+  ?warm:Lp.basis ->
+  ?basis_out:Lp.basis option ref ->
+  nvars:int ->
+  upper:int option array ->
+  row list ->
+  int array option
 
 (** Record the shape of one oracle call's rounded instance into the metrics
     registry (histograms [ptas.large_classes], [ptas.small_size_groups] and

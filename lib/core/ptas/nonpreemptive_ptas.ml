@@ -360,7 +360,7 @@ let construct inst rounded layout sol =
     assignment;
   assignment
 
-let oracle (p : Common.param) inst t =
+let oracle ?warm ?basis_out (p : Common.param) inst t =
   if Q.(Q.of_int (Instance.pmax inst) > t) then None
   else
     Ccs_obs.Span.with_ "nonpreemptive.oracle"
@@ -374,7 +374,7 @@ let oracle (p : Common.param) inst t =
       ~configs:(Array.length layout.configs);
     let rows = build_rows inst rounded layout in
     let upper = Array.make layout.nvars None in
-    match Common.solve_int_feasibility ~nvars:layout.nvars ~upper rows with
+    match Common.solve_int_feasibility ?warm ?basis_out ~nvars:layout.nvars ~upper rows with
     | None -> None
     | Some sol ->
         let assignment =
@@ -402,9 +402,16 @@ let solve p inst =
     @@ fun () ->
     (* probes run on pool domains, so the call counter must be atomic *)
     let calls = Atomic.make 0 in
+    (* set-once warm reference basis; see Splittable_ptas.solve *)
+    let warm_ref = Atomic.make None in
     let orc t =
       Atomic.incr calls;
-      oracle p inst t
+      let bout = ref None in
+      let r = oracle ?warm:(Atomic.get warm_ref) ~basis_out:bout p inst t in
+      (match (Atomic.get warm_ref, !bout) with
+      | None, Some b -> ignore (Atomic.compare_and_set warm_ref None (Some b))
+      | _ -> ());
+      r
     in
     let total = Instance.total_load inst in
     let m = Instance.m inst in

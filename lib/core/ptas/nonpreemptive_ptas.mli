@@ -34,7 +34,13 @@ val guarantee : Common.param -> Rat.t -> Rat.t
 val solve : Common.param -> Instance.t -> Schedule.nonpreemptive * stats
 
 (** Feasibility oracle for one guess (exposed for tests). *)
-val oracle : Common.param -> Instance.t -> Rat.t -> Schedule.nonpreemptive option
+val oracle :
+  ?warm:Lp.basis ->
+  ?basis_out:Lp.basis option ref ->
+  Common.param ->
+  Instance.t ->
+  Rat.t ->
+  Schedule.nonpreemptive option
 
 (** {2 Internals exposed for the N-fold form ({!Nfold_form}) and tests} *)
 

@@ -489,7 +489,7 @@ let construct (p : Common.param) inst rounded layout sol =
     layout.hb_groups;
   Array.map (fun r -> List.rev !r) sched
 
-let oracle (p : Common.param) inst t =
+let oracle ?warm ?basis_out (p : Common.param) inst t =
   if Q.(Q.of_int (Instance.pmax inst) > t) then None
   else
     Ccs_obs.Span.with_ "preemptive.oracle"
@@ -503,7 +503,7 @@ let oracle (p : Common.param) inst t =
       ~configs:(Array.length layout.configs);
     let rows = build_rows p inst rounded layout in
     let upper = Array.make layout.nvars None in
-    match Common.solve_int_feasibility ~nvars:layout.nvars ~upper rows with
+    match Common.solve_int_feasibility ?warm ?basis_out ~nvars:layout.nvars ~upper rows with
     | None -> None
     | Some sol ->
         let sched =
@@ -532,9 +532,16 @@ let solve p inst =
     @@ fun () ->
     (* probes run on pool domains, so the call counter must be atomic *)
     let calls = Atomic.make 0 in
+    (* set-once warm reference basis; see Splittable_ptas.solve *)
+    let warm_ref = Atomic.make None in
     let orc t =
       Atomic.incr calls;
-      oracle p inst t
+      let bout = ref None in
+      let r = oracle ?warm:(Atomic.get warm_ref) ~basis_out:bout p inst t in
+      (match (Atomic.get warm_ref, !bout) with
+      | None, Some b -> ignore (Atomic.compare_and_set warm_ref None (Some b))
+      | _ -> ());
+      r
     in
     let lb = Bounds.lb_preemptive inst in
     (* the preemptive 2-approximation provides an achievable upper bound *)

@@ -41,4 +41,10 @@ val guarantee : Common.param -> Rat.t -> Rat.t
 val solve : Common.param -> Instance.t -> Schedule.preemptive * stats
 
 (** Feasibility oracle for one guess (exposed for tests). *)
-val oracle : Common.param -> Instance.t -> Rat.t -> Schedule.preemptive option
+val oracle :
+  ?warm:Lp.basis ->
+  ?basis_out:Lp.basis option ref ->
+  Common.param ->
+  Instance.t ->
+  Rat.t ->
+  Schedule.preemptive option

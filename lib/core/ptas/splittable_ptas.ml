@@ -382,7 +382,7 @@ let construct inst rounded layout sol ~explicit_limit =
 
 (* ---------------------------------------------------------------- *)
 
-let oracle ?(explicit_limit = 4096) (p : Common.param) inst t =
+let oracle ?(explicit_limit = 4096) ?warm ?basis_out (p : Common.param) inst t =
   Ccs_obs.Span.with_ "splittable.oracle"
     ~fields:[ Ccs_obs.Log.str "t" (Q.to_string t) ]
   @@ fun () ->
@@ -403,7 +403,7 @@ let oracle ?(explicit_limit = 4096) (p : Common.param) inst t =
   in
   let rows = build_rows inst rounded layout ~cardinality_cap in
   let upper = Array.make layout.nvars None in
-  match Common.solve_int_feasibility ~nvars:layout.nvars ~upper rows with
+  match Common.solve_int_feasibility ?warm ?basis_out ~nvars:layout.nvars ~upper rows with
   | None -> None
   | Some sol ->
       let sched =
@@ -427,9 +427,19 @@ let solve ?(explicit_limit = 4096) p inst =
   (* probes run on pool domains, so the call counter must be atomic *)
   let calls = Atomic.make 0 in
   let last_vars = ref 0 in
+  (* Warm-start reference basis, set exactly once by the sequential upper
+     bound probe that [geometric_search] makes before fanning out: every
+     later probe (at any --jobs) then reads the same basis, so the oracle
+     stays a pure function of the guess and runs stay bit-identical. *)
+  let warm_ref = Atomic.make None in
   let orc t =
     Atomic.incr calls;
-    oracle ~explicit_limit p inst t
+    let bout = ref None in
+    let r = oracle ~explicit_limit ?warm:(Atomic.get warm_ref) ~basis_out:bout p inst t in
+    (match (Atomic.get warm_ref, !bout) with
+    | None, Some b -> ignore (Atomic.compare_and_set warm_ref None (Some b))
+    | _ -> ());
+    r
   in
   let lb = Bounds.lb_splittable inst in
   let ub = Q.max lb (Bounds.ub_splittable inst) in

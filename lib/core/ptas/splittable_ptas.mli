@@ -40,7 +40,14 @@ val solve : ?explicit_limit:int -> Common.param -> Instance.t -> Schedule.splitt
 
 (** The feasibility oracle for one guess (exposed for tests): [None] means
     provably no schedule with makespan T exists. *)
-val oracle : ?explicit_limit:int -> Common.param -> Instance.t -> Rat.t -> Schedule.splittable option
+val oracle :
+  ?explicit_limit:int ->
+  ?warm:Lp.basis ->
+  ?basis_out:Lp.basis option ref ->
+  Common.param ->
+  Instance.t ->
+  Rat.t ->
+  Schedule.splittable option
 
 (** {2 Internals exposed for the N-fold form ({!Nfold_form}) and tests} *)
 

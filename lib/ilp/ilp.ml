@@ -23,45 +23,46 @@ let nodes_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let last_node_count () = !(Domain.DLS.get nodes_key)
 
-(* Most fractional integer-constrained variable, or None if integral. *)
+(* First (lowest-index) fractional integer-constrained variable, or None
+   if integral. Lexicographic branching fixes variables block by block,
+   which doubles as symmetry breaking: the configuration ILPs (and
+   especially the paper's duplicated N-fold forms) contain many
+   interchangeable columns, and a most-fractional rule bounces between
+   equivalent copies, re-deriving the same subtrees under permutation. *)
 let pick_branch_var integer x =
-  let best = ref None in
-  Array.iteri
-    (fun j v ->
-      if integer.(j) && not (Q.is_integer v) then begin
-        let fl = Q.of_bigint (Q.floor v) in
-        let frac = Q.sub v fl in
-        (* distance from 1/2, smaller = more fractional *)
-        let score = Q.abs (Q.sub frac (Q.of_ints 1 2)) in
-        match !best with
-        | Some (_, s) when Q.(s <= score) -> ()
-        | _ -> best := Some (j, score)
-      end)
-    x;
-  match !best with Some (j, _) -> Some j | None -> None
+  let n = Array.length x in
+  let rec go j =
+    if j >= n then None
+    else if integer.(j) && not (Q.is_integer x.(j)) then Some j
+    else go (j + 1)
+  in
+  go 0
 
-let solve ?(max_nodes = max_int) ?(feasibility = false) p =
+let solve ?(max_nodes = max_int) ?(feasibility = false) ?warm ?basis_out p =
   let nodes = Domain.DLS.get nodes_key in
   nodes := 0;
   let incumbent = ref None in
   let limit_hit = ref false in
   let exception Found_first of Q.t * Q.t array in
-  (* Depth-first search over bound tightenings. *)
-  let rec search lower upper =
+  (* Depth-first search over bound tightenings. Each node hands its
+     optimal basis to its children: sibling LPs differ from the parent
+     only in one variable bound, so the warm start usually holds (and
+     falls back to a cold solve when the tightened bound cuts it off). *)
+  let rec search lower upper warm =
     if !limit_hit then ()
     else begin
       incr nodes;
       if !nodes > max_nodes then limit_hit := true
       else begin
         let lp = { p.lp with Lp.lower; upper } in
-        match Lp.solve lp with
+        match Lp.solve ?warm lp with
         | Lp.Infeasible _ -> ()
         | Lp.Unbounded _ ->
             (* With integer variables an unbounded relaxation does not decide
                the MILP, but every problem in this repository has a bounded
                relaxation; treat as a hard error to surface modelling bugs. *)
             failwith "Ilp.solve: unbounded relaxation"
-        | Lp.Optimal { objective; solution; _ } -> (
+        | Lp.Optimal { objective; solution; basis; _ } -> (
             (* bound pruning *)
             let dominated =
               match !incumbent with
@@ -83,35 +84,29 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) p =
                     (match upper'.(j) with
                     | Some u when Q.(u <= fl) -> ()
                     | _ -> upper'.(j) <- Some fl);
-                    search lower upper'
+                    search lower upper' (Some basis)
                   and up () =
                     let lower' = Array.copy lower in
                     (match lower'.(j) with
                     | Some l when Q.(l >= ce) -> ()
                     | _ -> lower'.(j) <- Some ce);
-                    search lower' upper
+                    search lower' upper (Some basis)
                   in
-                  (* explore the branch nearest the fractional value first *)
-                  let frac = Q.sub v fl in
-                  if Q.(frac <= Q.of_ints 1 2) then begin
-                    down ();
-                    up ()
-                  end
-                  else begin
-                    up ();
-                    down ()
-                  end)
+                  up ();
+                  down ())
       end
     end
   in
   let result =
-    match Lp.solve p.lp with
+    match Lp.solve ?warm p.lp with
     | Lp.Unbounded _ -> Unbounded
     | Lp.Infeasible _ -> Infeasible
-    | Lp.Optimal _ -> (
+    | Lp.Optimal { basis = root_basis; _ } -> (
+        (match basis_out with Some r -> r := Some root_basis | None -> ());
         match
           (try
-             search (Array.copy p.lp.Lp.lower) (Array.copy p.lp.Lp.upper);
+             search (Array.copy p.lp.Lp.lower) (Array.copy p.lp.Lp.upper)
+               (Some root_basis);
              None
            with Found_first (o, x) -> Some (o, x))
         with

@@ -17,10 +17,21 @@ type result =
   | Unbounded
   | Node_limit  (** search aborted after [max_nodes] B&B nodes *)
 
-(** [solve ?max_nodes ?feasibility p] minimizes. With [~feasibility:true] the
-    search stops at the first integral feasible point (use a zero objective
-    for pure feasibility questions, as the PTAS oracles do). *)
-val solve : ?max_nodes:int -> ?feasibility:bool -> problem -> result
+(** [solve ?max_nodes ?feasibility ?warm ?basis_out p] minimizes. With
+    [~feasibility:true] the search stops at the first integral feasible
+    point (use a zero objective for pure feasibility questions, as the
+    PTAS oracles do). [warm] seeds the root relaxation with a basis from a
+    previous same-shape solve; inside the tree each node warm-starts its
+    children from its own optimal basis. [basis_out], when given, receives
+    the root relaxation's optimal basis — callers reuse it to warm later
+    solves of the same configuration-LP shape. *)
+val solve :
+  ?max_nodes:int ->
+  ?feasibility:bool ->
+  ?warm:Lp.basis ->
+  ?basis_out:Lp.basis option ref ->
+  problem ->
+  result
 
 (** [solve_batch ps] solves independent subproblems — e.g. the per-guess
     configuration ILPs of the dual-approximation search — in parallel on

@@ -17,10 +17,26 @@ type stats = {
   phase2_iterations : int;
   pivots : int;
   bland_switched : bool;
+  pricing_switches : int;
+  basis_refactorizations : int;
+  warm_started : bool;
+}
+
+(* A basis is valid for any LP of the same internal shape: same row count
+   and same column layout (structural/slack/artificial partition). Bound
+   and rhs values may differ — the importer recomputes the basic solution
+   and falls back to a cold start if it is not primal feasible. *)
+type basis = {
+  b_rows : int;
+  b_struct : int;
+  b_slack : int;
+  b_total : int;
+  b_basic : int array;  (* column basic in each row *)
+  b_upper : int array;  (* nonbasic columns sitting at their upper bound *)
 }
 
 type result =
-  | Optimal of { objective : Q.t; solution : Q.t array; stats : stats }
+  | Optimal of { objective : Q.t; solution : Q.t array; stats : stats; basis : basis }
   | Infeasible of stats
   | Unbounded of stats
 
@@ -32,6 +48,31 @@ let m_phase2 = Ccs_obs.Metrics.counter "lp.phase2_iterations"
 let m_bland = Ccs_obs.Metrics.counter "lp.bland_switches"
 let m_infeasible = Ccs_obs.Metrics.counter "lp.infeasible"
 let m_unbounded = Ccs_obs.Metrics.counter "lp.unbounded"
+let m_refactor = Ccs_obs.Metrics.counter "lp.basis_refactorizations"
+let m_pricing_switches = Ccs_obs.Metrics.counter "lp.pricing_switches"
+let m_warm = Ccs_obs.Metrics.counter "lp.warm_starts"
+let m_rat_hits = Ccs_obs.Metrics.counter "rat.small_hits"
+let m_rat_promos = Ccs_obs.Metrics.counter "rat.promotions"
+
+(* Rat keeps its own exact per-domain counters; bridge them into the metrics
+   registry by publishing the delta since the last sync. The baseline refs
+   are deliberately not tied to [Metrics.reset], so after a reset the
+   counters accumulate deltas from that point on, as every other counter
+   does. *)
+let rat_sync_mu = Mutex.create ()
+let rat_last_hits = ref 0
+let rat_last_promos = ref 0
+
+let sync_rat_counters () =
+  let s = Q.stats () in
+  Mutex.lock rat_sync_mu;
+  let dh = s.Q.small_hits - !rat_last_hits in
+  let dp = s.Q.promotions - !rat_last_promos in
+  rat_last_hits := s.Q.small_hits;
+  rat_last_promos := s.Q.promotions;
+  Mutex.unlock rat_sync_mu;
+  if dh > 0 then Ccs_obs.Metrics.add m_rat_hits dh;
+  if dp > 0 then Ccs_obs.Metrics.add m_rat_promos dp
 
 let problem ?lower ?upper ~nvars ~objective constraints =
   let lower = match lower with Some l -> l | None -> Array.make nvars (Some Q.zero) in
@@ -65,118 +106,388 @@ let feasible p x =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Core tableau simplex on: min c x  s.t.  A x = b,  x >= 0,  b >= 0.
-   [n_real] marks the prefix of columns allowed to enter during phase 2
-   (artificial columns beyond it are frozen). *)
+(* Revised simplex core over: min c x  s.t.  A x = b,  0 <= x <= ub
+   (ub componentwise optional), with sparse columns and a product-form-eta
+   factorization of the basis. Upper bounds are implicit: a nonbasic
+   variable rests at 0 or at its upper bound, never in an explicit row. *)
 
-type tableau = {
-  a : Q.t array array;  (* m x n *)
-  b : Q.t array;        (* m, kept >= 0 *)
-  cost : Q.t array;     (* reduced costs, length n *)
-  mutable obj : Q.t;    (* current objective value *)
-  basis : int array;    (* m: variable basic in each row *)
+type status = Basic of int (* row *) | At_lower | At_upper
+
+(* Basis change B' = B E, where E is the identity with column [er] replaced
+   by the pivot column u: [epiv] = u_er, [ecol] the other nonzeros. *)
+type eta = { er : int; epiv : Q.t; ecol : (int * Q.t) array }
+
+let refactor_every = 64
+
+type core = {
+  m : int;
+  n_struct : int;
+  n_slack : int;
+  n_total : int;
+  n_enter : int;  (* columns allowed to price; artificials are beyond *)
+  cols : (int * Q.t) array array;  (* sparse columns, rows ascending *)
+  crash : int option array;  (* per row: slack usable as initial basic *)
+  b : Q.t array;
+  ub : Q.t option array;
+  cost : Q.t array;  (* phase-dependent, length n_total *)
+  status : status array;
+  basis : int array;
+  xb : Q.t array;
+  etas : eta option array;  (* first [neta] slots in application order *)
+  mutable neta : int;
+  d : Q.t array;  (* reduced costs of the enterable columns *)
+  w : float array;  (* Devex reference weights, enterable columns *)
+  mutable iters : int;
+  mutable pivots : int;
+  mutable degen_streak : int;
+  mutable bland_mode : bool;
+  mutable bland_switched : bool;
+  mutable pricing_switches : int;
+  mutable refactorizations : int;
+  bland_after : int;
 }
 
-let pivot t row col =
-  let m = Array.length t.a and n = Array.length t.cost in
-  let piv = t.a.(row).(col) in
-  let arow = t.a.(row) in
-  if not (Q.equal piv Q.one) then begin
-    let inv = Q.inv piv in
-    for j = 0 to n - 1 do
-      arow.(j) <- Q.mul arow.(j) inv
-    done;
-    t.b.(row) <- Q.mul t.b.(row) inv
-  end;
-  for i = 0 to m - 1 do
-    if i <> row then begin
-      let f = t.a.(i).(col) in
-      if not (Q.is_zero f) then begin
-        let irow = t.a.(i) in
-        for j = 0 to n - 1 do
-          if not (Q.is_zero arow.(j)) then irow.(j) <- Q.sub irow.(j) (Q.mul f arow.(j))
-        done;
-        t.b.(i) <- Q.sub t.b.(i) (Q.mul f t.b.(row))
-      end
+exception Singular
+
+let ftran core v =
+  for k = 0 to core.neta - 1 do
+    match core.etas.(k) with
+    | None -> assert false
+    | Some e ->
+        if not (Q.is_zero v.(e.er)) then begin
+          let pr = Q.div v.(e.er) e.epiv in
+          Array.iter (fun (i, u) -> v.(i) <- Q.sub v.(i) (Q.mul u pr)) e.ecol;
+          v.(e.er) <- pr
+        end
+  done
+
+let btran core y =
+  for k = core.neta - 1 downto 0 do
+    match core.etas.(k) with
+    | None -> assert false
+    | Some e ->
+        let s = ref y.(e.er) in
+        Array.iter (fun (i, u) -> s := Q.sub !s (Q.mul u y.(i))) e.ecol;
+        y.(e.er) <- Q.div !s e.epiv
+  done
+
+let col_dot y col =
+  Array.fold_left (fun acc (i, a) -> Q.add acc (Q.mul a y.(i))) Q.zero col
+
+let dense_col core j =
+  let v = Array.make core.m Q.zero in
+  Array.iter (fun (i, a) -> v.(i) <- a) core.cols.(j);
+  v
+
+(* x_B = B^{-1} (b - sum over at-upper columns of ub_j * a_j). *)
+let recompute_xb core =
+  let v = Array.copy core.b in
+  for j = 0 to core.n_total - 1 do
+    if core.status.(j) = At_upper then begin
+      let u = match core.ub.(j) with Some u -> u | None -> assert false in
+      if not (Q.is_zero u) then
+        Array.iter (fun (i, a) -> v.(i) <- Q.sub v.(i) (Q.mul a u)) core.cols.(j)
     end
   done;
-  let f = t.cost.(col) in
-  if not (Q.is_zero f) then begin
-    for j = 0 to n - 1 do
-      if not (Q.is_zero arow.(j)) then t.cost.(j) <- Q.sub t.cost.(j) (Q.mul f arow.(j))
-    done;
-    t.obj <- Q.sub t.obj (Q.mul f t.b.(row))
-  end;
-  t.basis.(row) <- col
+  ftran core v;
+  Array.blit v 0 core.xb 0 core.m
 
-(* One phase's worth of simplex effort, reported back to [solve]. *)
-type phase_stats = { iters : int; pivs : int; bland : bool }
+(* Rebuild the eta file from scratch by re-pivoting the basis columns in
+   row order; raises [Singular] if the column set is not a basis. Pivot
+   rows are reassigned deterministically (smallest eligible index). *)
+let refactor core =
+  core.neta <- 0;
+  let assigned = Array.make core.m false in
+  let new_basis = Array.make core.m (-1) in
+  Array.iter
+    (fun j ->
+      let v = dense_col core j in
+      ftran core v;
+      let r = ref (-1) in
+      for i = core.m - 1 downto 0 do
+        if (not assigned.(i)) && not (Q.is_zero v.(i)) then r := i
+      done;
+      if !r < 0 then raise Singular;
+      let r = !r in
+      assigned.(r) <- true;
+      new_basis.(r) <- j;
+      let others = ref [] in
+      for i = core.m - 1 downto 0 do
+        if i <> r && not (Q.is_zero v.(i)) then others := (i, v.(i)) :: !others
+      done;
+      core.etas.(core.neta) <- Some { er = r; epiv = v.(r); ecol = Array.of_list !others };
+      core.neta <- core.neta + 1)
+    (Array.copy core.basis);
+  Array.blit new_basis 0 core.basis 0 core.m;
+  Array.iteri (fun r j -> core.status.(j) <- Basic r) core.basis;
+  core.refactorizations <- core.refactorizations + 1;
+  recompute_xb core
 
-(* Dantzig rule for speed, switching to Bland's rule (which provably cannot
-   cycle) after a grace period proportional to the tableau size. *)
-let run_simplex t ~n_enter =
-  let m = Array.length t.a in
-  let iterations = ref 0 in
-  let pivots = ref 0 in
-  let bland_after = 50 * (m + n_enter) in
-  let rec loop () =
-    incr iterations;
-    let bland = !iterations > bland_after in
-    (* entering column *)
-    let enter = ref (-1) in
-    let best = ref Q.zero in
+(* Reduced costs d_j = c_j - y a_j with y = c_B B^{-1}, for enterable
+   columns; Devex weights reset to the unit reference framework. *)
+let compute_duals core =
+  let y = Array.make core.m Q.zero in
+  Array.iteri (fun r j -> y.(r) <- core.cost.(j)) core.basis;
+  btran core y;
+  for j = 0 to core.n_enter - 1 do
+    (match core.status.(j) with
+    | Basic _ -> core.d.(j) <- Q.zero
+    | At_lower | At_upper -> core.d.(j) <- Q.sub core.cost.(j) (col_dot y core.cols.(j)));
+    core.w.(j) <- 1.0
+  done
+
+(* Entering-column choice. Devex: maximize d_j^2 / w_j (float scores decide
+   the order only; all arithmetic on the chosen column stays exact). Bland:
+   smallest favorable index, which provably cannot cycle. *)
+let price core =
+  (* A fixed column (width-zero box, e.g. a variable pinned by branch &
+     bound) can only ever take a zero-length flip step: it is excluded
+     from pricing outright, both for speed and so its reduced-cost sign
+     never blocks the optimality test. *)
+  let fixed j =
+    match core.ub.(j) with Some u -> Q.sign u = 0 | None -> false
+  in
+  let favorable j =
+    if fixed j then false
+    else
+      match core.status.(j) with
+      | At_lower -> Q.sign core.d.(j) < 0
+      | At_upper -> Q.sign core.d.(j) > 0
+      | Basic _ -> false
+  in
+  if core.bland_mode then begin
+    let q = ref (-1) in
     (try
-       for j = 0 to n_enter - 1 do
-         if Q.sign t.cost.(j) < 0 then
-           if bland then begin
-             enter := j;
-             raise Exit
-           end
-           else if Q.(t.cost.(j) < !best) then begin
-             best := t.cost.(j);
-             enter := j
-           end
+       for j = 0 to core.n_enter - 1 do
+         if favorable j then begin
+           q := j;
+           raise Exit
+         end
        done
      with Exit -> ());
-    if !enter < 0 then `Optimal
-    else begin
-      let col = !enter in
-      (* ratio test; ties broken by smallest basis variable (Bland) *)
-      let row = ref (-1) in
-      let best_ratio = ref Q.zero in
-      for i = 0 to m - 1 do
-        if Q.sign t.a.(i).(col) > 0 then begin
-          let ratio = Q.div t.b.(i) t.a.(i).(col) in
-          if !row < 0 || Q.(ratio < !best_ratio)
-             || (Q.(ratio = !best_ratio) && t.basis.(i) < t.basis.(!row))
-          then begin
-            row := i;
-            best_ratio := ratio
-          end
+    if !q < 0 then None else Some !q
+  end
+  else begin
+    let q = ref (-1) in
+    let best = ref 0.0 in
+    for j = 0 to core.n_enter - 1 do
+      if favorable j then begin
+        let df = Q.to_float core.d.(j) in
+        let score = df *. df /. core.w.(j) in
+        if score > !best then begin
+          best := score;
+          q := j
         end
-      done;
-      if !row < 0 then `Unbounded
-      else begin
-        pivot t !row col;
-        incr pivots;
-        loop ()
       end
+    done;
+    if !q < 0 then None else Some !q
+  end
+
+(* Ratio test for entering column [q] moving by [theta >= 0] in direction
+   [sigma] (+1 off its lower bound, -1 off its upper bound). *)
+type step =
+  | Step_unbounded
+  | Step_flip of Q.t  (* q reaches its own opposite bound *)
+  | Step_pivot of int * Q.t  (* leaving row, theta *)
+
+let ratio_test core q sigma v =
+  let best_theta = ref None in
+  let best_row = ref (-1) in
+  (* Tie-break among minimum-ratio rows. Under Devex pricing, prefer to
+     drive an artificial out of the basis — phase 1 on degenerate
+     configuration LPs otherwise stalls for long plateaus with artificials
+     parked at zero (their column indices are the largest, so a plain
+     smallest-index rule keeps them basic forever). In Bland mode the rule
+     must stay pure smallest-index: that is what the anti-cycling proof
+     relies on. *)
+  let art_start = core.n_struct + core.n_slack in
+  let prefer bi bj =
+    if core.bland_mode then bi < bj
+    else
+      match (bi >= art_start, bj >= art_start) with
+      | true, false -> true
+      | false, true -> false
+      | _ -> bi < bj
+  in
+  let consider i theta =
+    let better =
+      match !best_theta with
+      | None -> true
+      | Some t ->
+          Q.(theta < t)
+          || (Q.(theta = t)
+             && !best_row >= 0
+             && prefer core.basis.(i) core.basis.(!best_row))
+    in
+    if better then begin
+      best_theta := Some theta;
+      best_row := i
     end
   in
+  for i = 0 to core.m - 1 do
+    let vi = if sigma > 0 then v.(i) else Q.neg v.(i) in
+    let s = Q.sign vi in
+    if s > 0 then consider i (Q.div core.xb.(i) vi)
+    else if s < 0 then begin
+      match core.ub.(core.basis.(i)) with
+      | Some u -> consider i (Q.div (Q.sub u core.xb.(i)) (Q.neg vi))
+      | None -> ()
+    end
+  done;
+  match (core.ub.(q), !best_theta) with
+  | None, None -> Step_unbounded
+  | Some u, None -> Step_flip u
+  | Some u, Some t when Q.(u <= t) -> Step_flip u
+  | _, Some t -> Step_pivot (!best_row, t)
+
+(* Execute a basis change: update x_B, the eta file, reduced costs and
+   Devex weights. [v] is B^{-1} a_q (FTRANed), [r] the leaving row. *)
+let do_pivot core q sigma v r theta =
+  let p = core.basis.(r) in
+  let alpha_q = v.(r) in
+  (* dual row: rho = e_r B^{-1} (pre-pivot) *)
+  let rho = Array.make core.m Q.zero in
+  rho.(r) <- Q.one;
+  btran core rho;
+  let dq = core.d.(q) in
+  let dq_over = Q.div dq alpha_q in
+  let aqf = Q.to_float alpha_q in
+  let aq2 = aqf *. aqf in
+  let wq = core.w.(q) in
+  for j = 0 to core.n_enter - 1 do
+    if j <> q then
+      match core.status.(j) with
+      | Basic _ -> ()
+      | At_lower | At_upper ->
+          let alpha = col_dot rho core.cols.(j) in
+          if not (Q.is_zero alpha) then begin
+            core.d.(j) <- Q.sub core.d.(j) (Q.mul dq_over alpha);
+            let af = Q.to_float alpha in
+            let cand = af *. af /. aq2 *. wq in
+            if cand > core.w.(j) then core.w.(j) <- cand
+          end
+  done;
+  (* primal update *)
+  if Q.sign theta <> 0 then begin
+    let step = if sigma > 0 then theta else Q.neg theta in
+    for i = 0 to core.m - 1 do
+      if not (Q.is_zero v.(i)) then core.xb.(i) <- Q.sub core.xb.(i) (Q.mul step v.(i))
+    done
+  end;
+  let x_enter =
+    if sigma > 0 then theta
+    else
+      match core.ub.(q) with Some u -> Q.sub u theta | None -> assert false
+  in
+  (* leaving variable rests at the bound it ran into *)
+  let leave_low = Q.sign (if sigma > 0 then v.(r) else Q.neg v.(r)) > 0 in
+  core.status.(p) <- (if leave_low then At_lower else At_upper);
+  if p < core.n_enter then begin
+    core.d.(p) <- Q.neg dq_over;
+    core.w.(p) <- Float.max 1.0 (wq /. aq2)
+  end;
+  core.d.(q) <- Q.zero;
+  let others = ref [] in
+  for i = core.m - 1 downto 0 do
+    if i <> r && not (Q.is_zero v.(i)) then others := (i, v.(i)) :: !others
+  done;
+  core.etas.(core.neta) <- Some { er = r; epiv = alpha_q; ecol = Array.of_list !others };
+  core.neta <- core.neta + 1;
+  core.basis.(r) <- q;
+  core.status.(q) <- Basic r;
+  core.xb.(r) <- x_enter;
+  core.pivots <- core.pivots + 1;
+  (* a rebuild itself emits m etas, so the trigger sits above that floor *)
+  if core.neta >= core.m + refactor_every then refactor core
+
+(* Weights past this magnitude stop discriminating; restart the framework. *)
+let devex_overflow = 1e12
+
+let reset_devex core = Array.fill core.w 0 core.n_enter 1.0
+
+(* Phase-1 objective: artificial columns never sit at an upper bound, so
+   the current infeasibility is the sum of basic artificial values. *)
+let phase1_value core =
+  let acc = ref Q.zero in
+  for r = 0 to core.m - 1 do
+    if core.basis.(r) >= core.n_enter then acc := Q.add !acc core.xb.(r)
+  done;
+  !acc
+
+(* One phase of simplex. [stop_at_feasible] makes phase 1 return as soon as
+   the artificial infeasibility hits zero instead of proving optimality. *)
+let run_phase core ~stop_at_feasible =
+  let iters0 = core.iters in
+  let rec loop () =
+    core.iters <- core.iters + 1;
+    if (not core.bland_mode) && core.degen_streak >= core.bland_after then begin
+      core.bland_mode <- true;
+      core.pricing_switches <- core.pricing_switches + 1
+    end;
+    match price core with
+    | None -> `Optimal
+    | Some q ->
+        let sigma = if core.status.(q) = At_lower then 1 else -1 in
+        let v = dense_col core q in
+        ftran core v;
+        (match ratio_test core q sigma v with
+        | Step_unbounded -> `Unbounded
+        | Step_flip u ->
+            core.status.(q) <- (if sigma > 0 then At_upper else At_lower);
+            if not (Q.is_zero u) then begin
+              let step = if sigma > 0 then u else Q.neg u in
+              for i = 0 to core.m - 1 do
+                if not (Q.is_zero v.(i)) then
+                  core.xb.(i) <- Q.sub core.xb.(i) (Q.mul step v.(i))
+              done;
+              core.degen_streak <- 0;
+              if core.bland_mode then begin
+                core.bland_mode <- false;
+                reset_devex core
+              end
+            end;
+            continue ()
+        | Step_pivot (r, theta) ->
+            if core.bland_mode then core.bland_switched <- true;
+            if Q.sign theta = 0 then core.degen_streak <- core.degen_streak + 1
+            else begin
+              core.degen_streak <- 0;
+              if core.bland_mode then begin
+                core.bland_mode <- false;
+                reset_devex core
+              end
+            end;
+            do_pivot core q sigma v r theta;
+            if (not core.bland_mode)
+               && Array.exists (fun w -> w > devex_overflow) core.w
+            then reset_devex core;
+            continue ())
+  and continue () =
+    if stop_at_feasible && Q.is_zero (phase1_value core) then `Optimal else loop ()
+  in
   let status = loop () in
-  (status, { iters = !iterations; pivs = !pivots; bland = !iterations > bland_after })
+  (status, core.iters - iters0)
 
 (* ------------------------------------------------------------------ *)
-(* Conversion from the user-facing form to standard form.
+(* Translation from the user-facing form.
 
-   Variable j is translated to non-negative internal variables:
-   - finite lower bound l: x = l + x'                       (1 column)
-   - no lower bound:       x = x+ - x-                      (2 columns)
-   Finite upper bounds become <= rows on the internal variables. *)
+   Variable j becomes non-negative internal columns:
+   - finite lower bound l: x = l + x', upper carried implicitly as ub
+   - no lower bound:       x = x+ - x- (two columns); a finite upper with
+     no lower is the one combination that still needs an explicit row.
+   Finite upper bounds on shifted variables become implicit column bounds,
+   so bound tightenings (e.g. branch & bound) never change the LP shape. *)
 
-let solve p =
+type model = {
+  c_core : core;
+  col_of : (int * int option) array;  (* var -> (pos column, neg column) *)
+  shift : Q.t array;
+}
+
+exception Empty_box
+
+let build_model ~bland_after p =
   let nv = p.nvars in
-  (* column mapping: var j -> (positive column, optional negative column) *)
   let col_of = Array.make nv (0, None) in
   let next = ref 0 in
   let shift = Array.make nv Q.zero in
@@ -191,7 +502,8 @@ let solve p =
         next := !next + 2
   done;
   let n_struct = !next in
-  (* Gather rows: user constraints with shifted rhs, plus upper-bound rows. *)
+  (* rows: user constraints with shifted rhs, plus the rare upper-bound
+     row for variables unbounded below *)
   let rows = ref [] in
   let add_row coeffs cmp rhs = rows := (coeffs, cmp, rhs) :: !rows in
   List.iter
@@ -212,176 +524,513 @@ let solve p =
       in
       add_row coeffs c.cmp rhs)
     p.constraints;
+  let ub_struct = Array.make n_struct None in
   for j = 0 to nv - 1 do
-    match p.upper.(j) with
-    | None -> ()
-    | Some u -> (
-        (* An empty box (u < l) simply yields an unsatisfiable row, which
-           phase 1 reports as Infeasible. *)
-        let rhs = Q.sub u shift.(j) in
+    match (p.lower.(j), p.upper.(j)) with
+    | Some l, Some u ->
+        let w = Q.sub u l in
+        if Q.sign w < 0 then raise Empty_box;
+        ub_struct.(fst col_of.(j)) <- Some w
+    | None, Some u ->
         let pos, negc = col_of.(j) in
-        match negc with
-        | None -> add_row [ (pos, Q.one) ] Le rhs
-        | Some ncol -> add_row [ (pos, Q.one); (ncol, Q.minus_one) ] Le rhs)
+        add_row [ (pos, Q.one); (Option.get negc, Q.minus_one) ] Le u
+    | _, None -> ()
   done;
   let rows = List.rev !rows in
   let m = List.length rows in
-  (* Slack columns for Le/Ge rows. *)
   let n_slack =
     List.fold_left (fun acc (_, cmp, _) -> if cmp = Eq then acc else acc + 1) 0 rows
   in
   let n_total = n_struct + n_slack + m in
-  (* artificials: one per row *)
-  let a = Array.init m (fun _ -> Array.make n_total Q.zero) in
   let b = Array.make m Q.zero in
-  let basis = Array.make m 0 in
+  let crash = Array.make m None in
+  let col_acc = Array.make n_total [] in
   let slack_cursor = ref n_struct in
   List.iteri
     (fun i (coeffs, cmp, rhs) ->
-      List.iter (fun (j, v) -> a.(i).(j) <- Q.add a.(i).(j) v) coeffs;
-      b.(i) <- rhs;
-      (match cmp with
-      | Le ->
-          a.(i).(!slack_cursor) <- Q.one;
-          incr slack_cursor
-      | Ge ->
-          a.(i).(!slack_cursor) <- Q.minus_one;
-          incr slack_cursor
-      | Eq -> ());
-      (* normalize rhs >= 0 *)
-      if Q.sign b.(i) < 0 then begin
-        for j = 0 to n_total - 1 do
-          a.(i).(j) <- Q.neg a.(i).(j)
-        done;
-        b.(i) <- Q.neg b.(i)
-      end;
-      (* artificial for this row *)
+      (* merge duplicate variable indices in the row *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (j, a) ->
+          Hashtbl.replace tbl j
+            (Q.add a (Option.value ~default:Q.zero (Hashtbl.find_opt tbl j))))
+        coeffs;
+      let slack =
+        match cmp with
+        | Le ->
+            let s = !slack_cursor in
+            incr slack_cursor;
+            Some (s, Q.one)
+        | Ge ->
+            let s = !slack_cursor in
+            incr slack_cursor;
+            Some (s, Q.minus_one)
+        | Eq -> None
+      in
+      (* normalize rhs >= 0 so the artificial start is primal feasible *)
+      let flip = Q.sign rhs < 0 in
+      let fix a = if flip then Q.neg a else a in
+      b.(i) <- fix rhs;
+      Hashtbl.fold (fun j a acc -> (j, a) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (j, a) ->
+             if not (Q.is_zero a) then col_acc.(j) <- (i, fix a) :: col_acc.(j));
+      (match slack with
+      | Some (s, a) ->
+          let a = fix a in
+          col_acc.(s) <- (i, a) :: col_acc.(s);
+          (* a +1 slack is a ready-made basic column: the crash start uses
+             it instead of an artificial, shortening phase 1 *)
+          if Q.(a = Q.one) then crash.(i) <- Some s
+      | None -> ());
       let art = n_struct + n_slack + i in
-      a.(i).(art) <- Q.one;
-      basis.(i) <- art)
+      col_acc.(art) <- [ (i, Q.one) ])
     rows;
-  (* ---- phase 1: minimize sum of artificials ---- *)
-  let cost = Array.make n_total Q.zero in
-  for i = 0 to m - 1 do
-    cost.(n_struct + n_slack + i) <- Q.one
-  done;
-  let t = { a; b; cost; obj = Q.zero; basis } in
-  (* price out the artificial basis *)
-  for i = 0 to m - 1 do
-    for j = 0 to n_total - 1 do
-      t.cost.(j) <- Q.sub t.cost.(j) t.a.(i).(j)
-    done;
-    t.obj <- Q.sub t.obj t.b.(i)
-  done;
-  let p1 =
-    match run_simplex t ~n_enter:n_total with
-    | `Unbounded, _ -> assert false (* phase-1 objective is bounded below by 0 *)
-    | `Optimal, ps -> ps
+  let cols = Array.map (fun l -> Array.of_list (List.rev l)) col_acc in
+  let ub = Array.make n_total None in
+  Array.blit ub_struct 0 ub 0 n_struct;
+  let n_enter = n_struct + n_slack in
+  let core =
+    {
+      m;
+      n_struct;
+      n_slack;
+      n_total;
+      n_enter;
+      cols;
+      crash;
+      b;
+      ub;
+      cost = Array.make n_total Q.zero;
+      status = Array.make n_total At_lower;
+      basis = Array.init m (fun i -> n_enter + i);
+      xb = Array.make m Q.zero;
+      etas = Array.make (m + refactor_every + 1) None;
+      neta = 0;
+      d = Array.make n_enter Q.zero;
+      w = Array.make n_enter 1.0;
+      iters = 0;
+      pivots = 0;
+      degen_streak = 0;
+      bland_mode = false;
+      bland_switched = false;
+      pricing_switches = 0;
+      refactorizations = 0;
+      bland_after;
+    }
   in
-  let record ~p1 ~p2 ~extra_pivots ~outcome =
-    let stats =
-      {
-        phase1_iterations = p1.iters;
-        phase2_iterations = p2.iters;
-        pivots = p1.pivs + p2.pivs + extra_pivots;
-        bland_switched = p1.bland || p2.bland;
-      }
-    in
-    Ccs_obs.Metrics.incr m_solves;
-    Ccs_obs.Metrics.add m_phase1 stats.phase1_iterations;
-    Ccs_obs.Metrics.add m_phase2 stats.phase2_iterations;
-    Ccs_obs.Metrics.add m_pivots stats.pivots;
-    if stats.bland_switched then Ccs_obs.Metrics.incr m_bland;
-    (match outcome with
-    | `Infeasible -> Ccs_obs.Metrics.incr m_infeasible
-    | `Unbounded -> Ccs_obs.Metrics.incr m_unbounded
-    | `Optimal -> ());
-    Ccs_obs.Log.trace (fun log ->
-        log
-          ~fields:
-            [
-              Ccs_obs.Log.int "rows" m;
-              Ccs_obs.Log.int "cols" n_total;
-              Ccs_obs.Log.int "pivots" stats.pivots;
-              Ccs_obs.Log.str "outcome"
-                (match outcome with
-                | `Infeasible -> "infeasible"
-                | `Unbounded -> "unbounded"
-                | `Optimal -> "optimal");
-            ]
-          "lp.solve");
-    stats
-  in
-  let no_phase2 = { iters = 0; pivs = 0; bland = false } in
-  if Q.sign t.obj < 0 then
-    Infeasible (record ~p1 ~p2:no_phase2 ~extra_pivots:0 ~outcome:`Infeasible)
+  { c_core = core; col_of; shift }
+
+(* Cold start: +1 slacks where available (crash), artificials elsewhere,
+   everything else at its lower bound. Either way the initial basis is the
+   identity, so the start is primal feasible for phase 1 with no etas. *)
+let init_cold core =
+  Array.fill core.status 0 core.n_total At_lower;
+  for i = 0 to core.m - 1 do
+    let j = match core.crash.(i) with Some s -> s | None -> core.n_enter + i in
+    core.basis.(i) <- j;
+    core.status.(j) <- Basic i;
+    core.xb.(i) <- core.b.(i)
+  done;
+  core.neta <- 0;
+  (* phase-1 costs: unit on artificials *)
+  Array.fill core.cost 0 core.n_total Q.zero;
+  for i = 0 to core.m - 1 do
+    core.cost.(core.n_enter + i) <- Q.one
+  done;
+  compute_duals core
+
+(* Warm start: adopt an exported basis if it matches the shape and still
+   factors. Returns the number of basic variables that violate their box
+   under the current bounds and rhs: [`Ok 0] means the basis is primal
+   feasible as-is; [`Ok k] with [k > 0] is a candidate for dual-simplex
+   repair; [`No] sends the caller down the cold path. The artificial
+   columns must already be pinned to [0, 0] so their violations count. *)
+let try_warm core (wb : basis) =
+  if wb.b_rows <> core.m || wb.b_struct <> core.n_struct
+     || wb.b_slack <> core.n_slack || wb.b_total <> core.n_total
+  then `No
+  else if Array.exists (fun j -> j < 0 || j >= core.n_total) wb.b_basic then `No
   else begin
-    (* Drive remaining artificials (basic at zero) out of the basis where
-       possible; rows where it is not possible are redundant. *)
-    let driveout = ref 0 in
-    for i = 0 to m - 1 do
-      if t.basis.(i) >= n_struct + n_slack then begin
-        let j = ref 0 in
-        let found = ref (-1) in
-        while !found < 0 && !j < n_struct + n_slack do
-          if not (Q.is_zero t.a.(i).(!j)) then found := !j;
-          incr j
+    Array.fill core.status 0 core.n_total At_lower;
+    let distinct = Hashtbl.create core.m in
+    Array.iter (fun j -> Hashtbl.replace distinct j ()) wb.b_basic;
+    if Hashtbl.length distinct <> core.m then `No
+    else if
+      Array.exists
+        (fun j ->
+          j < 0 || j >= core.n_total || Hashtbl.mem distinct j || core.ub.(j) = None)
+        wb.b_upper
+    then `No
+    else begin
+      Array.blit wb.b_basic 0 core.basis 0 core.m;
+      Array.iteri (fun r j -> core.status.(j) <- Basic r) core.basis;
+      Array.iter (fun j -> core.status.(j) <- At_upper) wb.b_upper;
+      core.neta <- 0;
+      match refactor core with
+      | () ->
+          core.refactorizations <- core.refactorizations - 1;
+          (* do not bill the import factorization as churn *)
+          let viol = ref 0 in
+          for r = 0 to core.m - 1 do
+            let j = core.basis.(r) in
+            let v = core.xb.(r) in
+            if Q.sign v < 0 then incr viol
+            else
+              match core.ub.(j) with
+              | Some u when Q.(v > u) -> incr viol
+              | _ -> ()
+          done;
+          `Ok !viol
+      | exception Singular -> `No
+    end
+  end
+
+(* Is a nonbasic column pinned to a width-zero box? (Branch-and-bound
+   fixings and the pinned artificials; such a column can never enter.) *)
+let fixed_col core j =
+  match core.ub.(j) with Some u -> Q.sign u = 0 | None -> false
+
+(* The adopted reduced costs must satisfy the dual sign conditions for the
+   dual simplex to run; fixed columns are exempt (they never price). *)
+let dual_feasible core =
+  let ok = ref true in
+  for j = 0 to core.n_enter - 1 do
+    if !ok && not (fixed_col core j) then
+      match core.status.(j) with
+      | Basic _ -> ()
+      | At_lower -> if Q.sign core.d.(j) < 0 then ok := false
+      | At_upper -> if Q.sign core.d.(j) > 0 then ok := false
+  done;
+  !ok
+
+(* Dual-simplex feasibility repair, starting from a factored, dual-feasible
+   basis whose x_B violates some boxes — the branch-and-bound child case,
+   where the parent's optimal basis is off by exactly one tightened bound.
+   Leaving row and entering column both break ties by smallest variable
+   index (Bland-style), which keeps runs deterministic and, together with
+   exact arithmetic, rules out cycling; a generous iteration cap returns
+   [`Stalled] so the caller can always fall back to a cold start.
+   Maintains [core.d] exactly; Devex weights are left alone because the
+   caller re-derives them before phase 2. *)
+let dual_repair core =
+  let max_iters = 100 + (20 * core.m) in
+  let rec loop iters =
+    if iters > max_iters then `Stalled
+    else begin
+      (* most negative choice would be faster on average; smallest basic
+         variable index is the Bland-style choice that cannot cycle *)
+      let r = ref (-1) in
+      let sr = ref 0 in
+      for i = core.m - 1 downto 0 do
+        let x = core.xb.(i) in
+        let s =
+          if Q.sign x < 0 then -1
+          else
+            match core.ub.(core.basis.(i)) with
+            | Some u when Q.(x > u) -> 1
+            | _ -> 0
+        in
+        if s <> 0 && (!r < 0 || core.basis.(i) < core.basis.(!r)) then begin
+          r := i;
+          sr := s
+        end
+      done;
+      if !r < 0 then `Feasible iters
+      else begin
+        let r = !r and sr = !sr in
+        core.iters <- core.iters + 1;
+        let srq = Q.of_int sr in
+        let rho = Array.make core.m Q.zero in
+        rho.(r) <- Q.one;
+        btran core rho;
+        let alpha = Array.make core.n_enter Q.zero in
+        let q = ref (-1) in
+        let best = ref Q.zero in
+        for j = 0 to core.n_enter - 1 do
+          match core.status.(j) with
+          | Basic _ -> ()
+          | At_lower | At_upper ->
+              if not (fixed_col core j) then begin
+                let a = col_dot rho core.cols.(j) in
+                alpha.(j) <- a;
+                let sa = Q.mul srq a in
+                let eligible =
+                  match core.status.(j) with
+                  | At_lower -> Q.sign sa > 0
+                  | At_upper -> Q.sign sa < 0
+                  | Basic _ -> false
+                in
+                if eligible then begin
+                  let ratio = Q.div core.d.(j) sa in
+                  if !q < 0 || Q.(ratio < !best) then begin
+                    q := j;
+                    best := ratio
+                  end
+                end
+              end
         done;
-        if !found >= 0 then begin
-          pivot t i !found;
-          incr driveout
+        if !q < 0 then `Infeasible (iters + 1)
+          (* row r cannot be brought inside its box by any admissible move *)
+        else begin
+          let q = !q in
+          let theta_d = !best in
+          let alpha_q = alpha.(q) in
+          let p = core.basis.(r) in
+          (* dual update: y += theta_d * sr * rho, so d_j -= theta_d*sr*alpha_j *)
+          if Q.sign theta_d <> 0 then
+            for j = 0 to core.n_enter - 1 do
+              if j <> q then
+                match core.status.(j) with
+                | Basic _ -> ()
+                | At_lower | At_upper ->
+                    if not (Q.is_zero alpha.(j)) then
+                      core.d.(j) <-
+                        Q.sub core.d.(j) (Q.mul theta_d (Q.mul srq alpha.(j)))
+            done;
+          (* primal update: entering moves by delta, leaving lands on the
+             bound it violated *)
+          let viol =
+            if sr < 0 then core.xb.(r)
+            else
+              match core.ub.(p) with
+              | Some u -> Q.sub core.xb.(r) u
+              | None -> assert false
+          in
+          let delta = Q.div viol alpha_q in
+          let bound_q =
+            match core.status.(q) with
+            | At_upper -> ( match core.ub.(q) with Some u -> u | None -> assert false)
+            | _ -> Q.zero
+          in
+          let v = dense_col core q in
+          ftran core v;
+          if Q.sign delta <> 0 then
+            for i = 0 to core.m - 1 do
+              if not (Q.is_zero v.(i)) then
+                core.xb.(i) <- Q.sub core.xb.(i) (Q.mul v.(i) delta)
+            done;
+          core.status.(p) <- (if sr < 0 then At_lower else At_upper);
+          if p < core.n_enter then begin
+            core.d.(p) <- Q.neg (Q.mul theta_d srq);
+            core.w.(p) <- 1.0
+          end;
+          core.d.(q) <- Q.zero;
+          let others = ref [] in
+          for i = core.m - 1 downto 0 do
+            if i <> r && not (Q.is_zero v.(i)) then others := (i, v.(i)) :: !others
+          done;
+          core.etas.(core.neta) <-
+            Some { er = r; epiv = alpha_q; ecol = Array.of_list !others };
+          core.neta <- core.neta + 1;
+          core.basis.(r) <- q;
+          core.status.(q) <- Basic r;
+          core.xb.(r) <- Q.add bound_q delta;
+          core.pivots <- core.pivots + 1;
+          if core.neta >= core.m + refactor_every then refactor core;
+          loop (iters + 1)
         end
       end
-    done;
-    (* ---- phase 2 ---- *)
-    Array.fill t.cost 0 n_total Q.zero;
-    t.obj <- Q.zero;
-    for jv = 0 to nv - 1 do
-      let c = p.objective.(jv) in
-      if not (Q.is_zero c) then begin
-        let pos, negc = col_of.(jv) in
-        t.cost.(pos) <- Q.add t.cost.(pos) c;
-        (match negc with
-        | Some ncol -> t.cost.(ncol) <- Q.sub t.cost.(ncol) c
-        | None -> ());
-        (* constant from the shift *)
-        t.obj <- Q.sub t.obj (Q.mul c shift.(jv))
-      end
-    done;
-    (* price out the current basis *)
-    for i = 0 to m - 1 do
-      let bj = t.basis.(i) in
-      let f = t.cost.(bj) in
-      if not (Q.is_zero f) then begin
-        for j = 0 to n_total - 1 do
-          if not (Q.is_zero t.a.(i).(j)) then t.cost.(j) <- Q.sub t.cost.(j) (Q.mul f t.a.(i).(j))
-        done;
-        t.obj <- Q.sub t.obj (Q.mul f t.b.(i))
-      end
-    done;
-    match run_simplex t ~n_enter:(n_struct + n_slack) with
-    | `Unbounded, p2 ->
-        Unbounded (record ~p1 ~p2 ~extra_pivots:!driveout ~outcome:`Unbounded)
-    | `Optimal, p2 ->
-        let internal = Array.make n_total Q.zero in
-        for i = 0 to m - 1 do
-          internal.(t.basis.(i)) <- t.b.(i)
-        done;
-        let x = Array.make nv Q.zero in
-        for jv = 0 to nv - 1 do
-          let pos, negc = col_of.(jv) in
-          let v = match negc with
-            | None -> internal.(pos)
-            | Some ncol -> Q.sub internal.(pos) internal.(ncol)
-          in
-          x.(jv) <- Q.add v shift.(jv)
-        done;
-        (* t.obj tracks -(objective); reconstruct directly for clarity. *)
-        let value =
-          Array.to_list x
-          |> List.mapi (fun j v -> Q.mul p.objective.(j) v)
-          |> List.fold_left Q.add Q.zero
+    end
+  in
+  loop 0
+
+let export_basis core =
+  let uppers = ref [] in
+  for j = core.n_total - 1 downto 0 do
+    if core.status.(j) = At_upper then uppers := j :: !uppers
+  done;
+  {
+    b_rows = core.m;
+    b_struct = core.n_struct;
+    b_slack = core.n_slack;
+    b_total = core.n_total;
+    b_basic = Array.copy core.basis;
+    b_upper = Array.of_list !uppers;
+  }
+
+let extract_solution p model =
+  let core = model.c_core in
+  let internal = Array.make core.n_total Q.zero in
+  for j = 0 to core.n_total - 1 do
+    match core.status.(j) with
+    | Basic r -> internal.(j) <- core.xb.(r)
+    | At_upper -> internal.(j) <- (match core.ub.(j) with Some u -> u | None -> Q.zero)
+    | At_lower -> ()
+  done;
+  let x = Array.make p.nvars Q.zero in
+  for jv = 0 to p.nvars - 1 do
+    let pos, negc = model.col_of.(jv) in
+    let v =
+      match negc with
+      | None -> internal.(pos)
+      | Some ncol -> Q.sub internal.(pos) internal.(ncol)
+    in
+    x.(jv) <- Q.add v model.shift.(jv)
+  done;
+  x
+
+let default_bland_after = 32
+
+let solve ?warm ?(bland_after = default_bland_after) p =
+  match build_model ~bland_after p with
+  | exception Empty_box ->
+      let stats =
+        {
+          phase1_iterations = 0;
+          phase2_iterations = 0;
+          pivots = 0;
+          bland_switched = false;
+          pricing_switches = 0;
+          basis_refactorizations = 0;
+          warm_started = false;
+        }
+      in
+      Ccs_obs.Metrics.incr m_solves;
+      Ccs_obs.Metrics.incr m_infeasible;
+      sync_rat_counters ();
+      Infeasible stats
+  | model ->
+      let core = model.c_core in
+      let pin_artificials () =
+        for i = 0 to core.m - 1 do
+          core.ub.(core.n_enter + i) <- Some Q.zero
+        done
+      in
+      let unpin_artificials () =
+        for i = 0 to core.m - 1 do
+          core.ub.(core.n_enter + i) <- None
+        done
+      in
+      let install_phase2_costs () =
+        Array.fill core.cost 0 core.n_total Q.zero;
+        for jv = 0 to p.nvars - 1 do
+          let c = p.objective.(jv) in
+          if not (Q.is_zero c) then begin
+            let pos, negc = model.col_of.(jv) in
+            core.cost.(pos) <- Q.add core.cost.(pos) c;
+            match negc with
+            | Some ncol -> core.cost.(ncol) <- Q.sub core.cost.(ncol) c
+            | None -> ()
+          end
+        done
+      in
+      let warm_ok = ref false in
+      (* Warm path: adopt the basis under the real costs with artificials
+         pinned to zero. A clean import skips phase 1 outright; an import
+         that is only primal-infeasible (the branch-and-bound child case:
+         one tightened bound) is repaired with dual-simplex pivots, which
+         is the whole point of exporting bases. Anything else — shape
+         mismatch, singular, dual-infeasible, repair stall — falls back to
+         the cold two-phase start, so a stale basis is never wrong. *)
+      let warm_result =
+        match warm with
+        | None -> `Cold
+        | Some wb -> (
+            install_phase2_costs ();
+            pin_artificials ();
+            match try_warm core wb with
+            | `No ->
+                unpin_artificials ();
+                `Cold
+            | `Ok nviol -> (
+                compute_duals core;
+                if nviol = 0 then begin
+                  warm_ok := true;
+                  `Feasible 0
+                end
+                else if not (dual_feasible core) then begin
+                  unpin_artificials ();
+                  `Cold
+                end
+                else
+                  match dual_repair core with
+                  | `Feasible iters ->
+                      warm_ok := true;
+                      `Feasible iters
+                  | `Infeasible iters ->
+                      warm_ok := true;
+                      `Infeasible iters
+                  | `Stalled ->
+                      unpin_artificials ();
+                      `Cold))
+      in
+      let p1 =
+        match warm_result with
+        | (`Feasible _ | `Infeasible _) as r -> r
+        | `Cold -> (
+            init_cold core;
+            match run_phase core ~stop_at_feasible:true with
+            | `Unbounded, _ -> assert false (* phase-1 objective is bounded below *)
+            | `Optimal, iters ->
+                if Q.sign (phase1_value core) <> 0 then `Infeasible iters
+                else begin
+                  pin_artificials ();
+                  `Feasible iters
+                end)
+      in
+      let warm_ok = !warm_ok in
+      let record ~p1_iters ~p2_iters ~outcome =
+        let stats =
+          {
+            phase1_iterations = p1_iters;
+            phase2_iterations = p2_iters;
+            pivots = core.pivots;
+            bland_switched = core.bland_switched;
+            pricing_switches = core.pricing_switches;
+            basis_refactorizations = core.refactorizations;
+            warm_started = warm_ok;
+          }
         in
-        let stats = record ~p1 ~p2 ~extra_pivots:!driveout ~outcome:`Optimal in
-        Optimal { objective = value; solution = x; stats }
-  end
+        Ccs_obs.Metrics.incr m_solves;
+        Ccs_obs.Metrics.add m_phase1 stats.phase1_iterations;
+        Ccs_obs.Metrics.add m_phase2 stats.phase2_iterations;
+        Ccs_obs.Metrics.add m_pivots stats.pivots;
+        Ccs_obs.Metrics.add m_refactor stats.basis_refactorizations;
+        Ccs_obs.Metrics.add m_pricing_switches stats.pricing_switches;
+        if stats.bland_switched then Ccs_obs.Metrics.incr m_bland;
+        if warm_ok then Ccs_obs.Metrics.incr m_warm;
+        (match outcome with
+        | `Infeasible -> Ccs_obs.Metrics.incr m_infeasible
+        | `Unbounded -> Ccs_obs.Metrics.incr m_unbounded
+        | `Optimal -> ());
+        sync_rat_counters ();
+        Ccs_obs.Log.trace (fun log ->
+            log
+              ~fields:
+                [
+                  Ccs_obs.Log.int "rows" core.m;
+                  Ccs_obs.Log.int "cols" core.n_total;
+                  Ccs_obs.Log.int "pivots" stats.pivots;
+                  Ccs_obs.Log.bool "warm" warm_ok;
+                  Ccs_obs.Log.str "outcome"
+                    (match outcome with
+                    | `Infeasible -> "infeasible"
+                    | `Unbounded -> "unbounded"
+                    | `Optimal -> "optimal");
+                ]
+              "lp.solve");
+        stats
+      in
+      (match p1 with
+      | `Infeasible p1_iters ->
+          Infeasible (record ~p1_iters ~p2_iters:0 ~outcome:`Infeasible)
+      | `Feasible p1_iters ->
+          (* phase 2: real costs; artificials are pinned at zero by their
+             bounds, so redundant rows stay inert without a drive-out pass *)
+          install_phase2_costs ();
+          core.bland_mode <- false;
+          core.degen_streak <- 0;
+          compute_duals core;
+          (match run_phase core ~stop_at_feasible:false with
+          | `Unbounded, p2_iters ->
+              Unbounded (record ~p1_iters ~p2_iters ~outcome:`Unbounded)
+          | `Optimal, p2_iters ->
+              let x = extract_solution p model in
+              let value =
+                Array.to_list x
+                |> List.mapi (fun j v -> Q.mul p.objective.(j) v)
+                |> List.fold_left Q.add Q.zero
+              in
+              let stats = record ~p1_iters ~p2_iters ~outcome:`Optimal in
+              Optimal { objective = value; solution = x; stats; basis = export_basis core }))

@@ -1,10 +1,18 @@
 (** Exact linear programming over rationals.
 
-    A dense two-phase primal simplex with exact {!Rat} arithmetic: no
-    tolerances, no cycling (Bland's rule kicks in after a Dantzig warm-up),
-    and answers that are exactly right — which is what the branch-and-bound
-    ILP solver and the PTAS feasibility oracles require. Built from scratch;
-    the sealed environment has no LP library. *)
+    A bounded-variable revised simplex with exact {!Rat} arithmetic and
+    sparse columns: the basis is held as a product-form-eta factorization,
+    pricing is Devex (float scores choose the pivot order; every number
+    that enters the solution is exact), and Bland's rule takes over after
+    a run of degenerate pivots so cycling remains impossible. There are no
+    tolerances and answers are exactly right — which is what the
+    branch-and-bound ILP solver and the PTAS feasibility oracles require.
+    Built from scratch; the sealed environment has no LP library.
+
+    Finite variable bounds are implicit (a nonbasic variable rests at its
+    lower or upper bound) rather than explicit rows, so tightening bounds
+    — as branch & bound does — never changes the LP shape and a basis from
+    one solve can warm-start the next. *)
 
 type cmp = Le | Ge | Eq
 
@@ -23,18 +31,42 @@ type problem = {
 }
 
 (** Solver effort for one [solve] call. Iterations count simplex loop
-    passes (each either pivots or proves optimality/unboundedness);
-    [pivots] additionally includes the basis repairs that drive leftover
-    artificial variables out between the phases. *)
+    passes (each prices a column, then pivots, flips a bound, or proves
+    optimality/unboundedness); [pivots] counts actual basis changes.
+    [bland_switched] is true only if at least one pivot was chosen by
+    Bland's anti-cycling rule — not merely because the degenerate-streak
+    threshold was crossed. [pricing_switches] counts Devex-to-Bland
+    handovers; [basis_refactorizations] counts eta-file rebuilds.
+    [warm_started] records that a caller-supplied basis was adopted —
+    either feasible as-is (then [phase1_iterations] is 0) or made feasible
+    by dual-simplex repair pivots, which are what [phase1_iterations]
+    counts on a warm start. *)
 type stats = {
   phase1_iterations : int;
   phase2_iterations : int;  (** 0 when phase 1 proves infeasibility *)
   pivots : int;
-  bland_switched : bool;  (** the anti-cycling rule had to engage *)
+  bland_switched : bool;
+  pricing_switches : int;
+  basis_refactorizations : int;
+  warm_started : bool;
 }
 
+(** Opaque snapshot of an optimal basis, exportable across solves.
+
+    A basis is valid for any problem with the same internal shape: the
+    same constraint rows (count and Le/Ge/Eq kinds in order) and the same
+    variable layout (which variables have finite lower bounds). Bound
+    values and right-hand sides are free to differ — [solve ~warm] checks
+    the adopted basis under the new data: primal-feasible bases skip
+    phase 1 outright, bases violating only variable bounds (the
+    branch-and-bound case, dual feasible by construction) are repaired
+    with dual-simplex pivots, and anything else falls back to a cold
+    start. Passing a stale or mismatched basis is always safe, never
+    wrong. *)
+type basis
+
 type result =
-  | Optimal of { objective : Rat.t; solution : Rat.t array; stats : stats }
+  | Optimal of { objective : Rat.t; solution : Rat.t array; stats : stats; basis : basis }
   | Infeasible of stats
   | Unbounded of stats
 
@@ -49,7 +81,12 @@ val problem :
 
 val constr : (int * Rat.t) list -> cmp -> Rat.t -> constr
 
-val solve : problem -> result
+(** [solve ?warm ?bland_after p] minimizes [p]. [warm] supplies a starting
+    basis from a previous same-shape solve (see {!basis}). [bland_after]
+    is the number of consecutive degenerate pivots tolerated before
+    pricing hands over to Bland's rule (default 32; 0 forces Bland from
+    the first degenerate pivot, which the cycling tests use). *)
+val solve : ?warm:basis -> ?bland_after:int -> problem -> result
 
 (** Checks that [solution] satisfies every constraint and bound exactly.
     Used by the test-suite and as a post-solve assertion. *)

@@ -1,11 +1,21 @@
-(** Exact rational numbers over {!Bigint}.
+(** Exact rational numbers with a small-int fast path over {!Bigint}.
 
     Values are kept normalized: the denominator is positive and
     gcd(num, den) = 1, so structural equality coincides with numeric
     equality. Used for fractional makespan guesses (the borders [P_u/k] of
-    Lemma 2), splittable/preemptive piece sizes, and the exact simplex. *)
+    Lemma 2), splittable/preemptive piece sizes, and the exact simplex.
 
-type t = private { num : Bigint.t; den : Bigint.t }
+    Representation: a rational whose numerator and denominator both fit a
+    native [int] is stored unpacked as two immediates and operated on with
+    overflow-checked native arithmetic; only when a checked operation would
+    overflow does the value promote to the {!Bigint}-backed form. The
+    canonical form is the small one — any big-form result that fits native
+    ints demotes on construction — so the representation of a value is a
+    function of the value alone and structural equality stays numeric.
+    {!stats} reports how often the fast path was taken and how often an
+    operation had to promote. *)
+
+type t
 
 val zero : t
 val one : t
@@ -22,6 +32,11 @@ val of_ints : int -> int -> t
 
 val num : t -> Bigint.t
 val den : t -> Bigint.t
+
+(** True when the value is held in the unpacked native-int form. Exposed
+    for the promotion-boundary tests and {!stats} consumers; algorithmic
+    code should never branch on it. *)
+val is_small : t -> bool
 
 val sign : t -> int
 val is_zero : t -> bool
@@ -55,6 +70,15 @@ val to_string : t -> string
 val of_string : string -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** Fast-path effectiveness counters, exact under any number of domains
+    (each domain accumulates locally; [stats] sums). [small_hits] counts
+    arithmetic/comparison operations completed entirely on native ints;
+    [promotions] counts operations that started small but overflowed to the
+    {!Bigint} path. Construction-time demotions are not counted. *)
+type stats = { small_hits : int; promotions : int }
+
+val stats : unit -> stats
 
 val ( + ) : t -> t -> t
 val ( - ) : t -> t -> t

@@ -26,7 +26,7 @@ combination, and check the reported numbers are sane and deterministic.
 
   $ ccs_solve inst.ccs --variant nonpreemptive --algo ptas --epsilon 1 -q
   instance: n=10 m=3 c=2 C=3
-  non-preemptive PTAS (delta=1/1): makespan 371 (accepted T=212)
+  non-preemptive PTAS (delta=1/1): makespan 586 (accepted T=212)
 
 Several instances form a batch; with --jobs they are solved on a domain
 pool, and the buffered per-instance output is byte-identical to -j 1:
@@ -39,10 +39,10 @@ pool, and the buffered per-instance output is byte-identical to -j 1:
   $ cat batch_j4.out
   === inst.ccs ===
   instance: n=10 m=3 c=2 C=3
-  non-preemptive PTAS (delta=1/1): makespan 371 (accepted T=212)
+  non-preemptive PTAS (delta=1/1): makespan 586 (accepted T=212)
   === inst2.ccs ===
   instance: n=8 m=2 c=2 C=2
-  non-preemptive PTAS (delta=1/1): makespan 561 (accepted T=281)
+  non-preemptive PTAS (delta=1/1): makespan 310 (accepted T=281)
 
 A malformed instance is rejected with a useful message:
 

@@ -43,7 +43,8 @@ let prop_splittable_valid_and_2approx =
       match S.validate_splittable inst sched with
       | Error e -> QCheck.Test.fail_reportf "invalid schedule: %s" e
       | Ok makespan ->
-          Q.(makespan <= Q.mul (Q.of_int 2) stats.Ccs.Approx.Splittable.t_guess))
+          let t_guess = stats.Ccs.Approx.Splittable.t_guess in
+          Q.(makespan <= Q.mul (Q.of_int 2) t_guess))
 
 let prop_splittable_vs_exact =
   QCheck.Test.make ~name:"Thm 4: T <= opt and makespan <= 2*opt (exact)" ~count:40
@@ -60,7 +61,8 @@ let prop_splittable_vs_exact =
             | Ok mk -> mk
             | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
           in
-          Q.(stats.Ccs.Approx.Splittable.t_guess <= opt)
+          let t_guess = stats.Ccs.Approx.Splittable.t_guess in
+          Q.(t_guess <= opt)
           && Q.(makespan <= Q.mul (Q.of_int 2) opt))
 
 let test_splittable_huge_m () =
@@ -75,8 +77,8 @@ let test_splittable_huge_m () =
   | Ok makespan ->
       (* With that many machines, LB is tiny; T is the smallest feasible
          border; makespan <= 2T. *)
-      Alcotest.(check bool) "2-approx" true
-        Q.(makespan <= Q.mul (Q.of_int 2) stats.Ccs.Approx.Splittable.t_guess);
+      let t_guess = stats.Ccs.Approx.Splittable.t_guess in
+      Alcotest.(check bool) "2-approx" true Q.(makespan <= Q.mul (Q.of_int 2) t_guess);
       Alcotest.(check bool) "used blocks" true (List.length sched.S.blocks > 0)
 
 let test_splittable_single_machine () =
@@ -137,7 +139,8 @@ let prop_preemptive_valid_and_2approx =
       match S.validate_preemptive inst sched with
       | Error e -> QCheck.Test.fail_reportf "invalid schedule: %s" e
       | Ok makespan ->
-          Q.(makespan <= Q.mul (Q.of_int 2) stats.Ccs.Approx.Preemptive.t_guess))
+          let t_guess = stats.Ccs.Approx.Preemptive.t_guess in
+          Q.(makespan <= Q.mul (Q.of_int 2) t_guess))
 
 let prop_preemptive_vs_split_opt =
   QCheck.Test.make ~name:"Thm 5: makespan <= 2*opt (split-opt lower bound)" ~count:40
@@ -260,7 +263,8 @@ let prop_huge_m_safety =
       match S.validate_splittable inst sched with
       | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
       | Ok makespan ->
-          Q.(makespan <= Q.mul (Q.of_int 2) stats.Ccs.Approx.Splittable.t_guess))
+          let t_guess = stats.Ccs.Approx.Splittable.t_guess in
+          Q.(makespan <= Q.mul (Q.of_int 2) t_guess))
 
 let prop_bnb_matches_brute =
   QCheck.Test.make ~name:"B&B = brute force on tiny instances" ~count:60

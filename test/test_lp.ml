@@ -19,7 +19,7 @@ let check_stats (s : Lp.stats) =
 
 let solve_opt p =
   match Lp.solve p with
-  | Lp.Optimal { objective; solution; stats } ->
+  | Lp.Optimal { objective; solution; stats; _ } ->
       check_stats stats;
       (objective, solution)
   | Lp.Infeasible _ -> Alcotest.fail "unexpected infeasible"
@@ -91,17 +91,70 @@ let test_free_variable () =
   Alcotest.check q "objective" (qi (-7)) obj;
   Alcotest.check q "x" (qi (-7)) x.(0)
 
+(* Classic degenerate LP that cycles under naive pivoting (Beale). *)
+let beale () =
+  Lp.problem ~nvars:4
+    ~objective:[| qr (-3) 4; qi 150; qr (-1) 50; qi 6 |]
+    [ Lp.constr [ (0, qr 1 4); (1, qi (-60)); (2, qr (-1) 25); (3, qi 9) ] Lp.Le Q.zero;
+      Lp.constr [ (0, qr 1 2); (1, qi (-90)); (2, qr (-1) 50); (3, qi 3) ] Lp.Le Q.zero;
+      Lp.constr [ (2, Q.one) ] Lp.Le Q.one ]
+
 let test_degenerate () =
-  (* Classic degenerate LP that cycles under naive pivoting (Beale). *)
-  let p =
-    Lp.problem ~nvars:4
-      ~objective:[| qr (-3) 4; qi 150; qr (-1) 50; qi 6 |]
-      [ Lp.constr [ (0, qr 1 4); (1, qi (-60)); (2, qr (-1) 25); (3, qi 9) ] Lp.Le Q.zero;
-        Lp.constr [ (0, qr 1 2); (1, qi (-90)); (2, qr (-1) 50); (3, qi 3) ] Lp.Le Q.zero;
-        Lp.constr [ (2, Q.one) ] Lp.Le Q.one ]
-  in
-  let obj, _ = solve_opt p in
+  let obj, _ = solve_opt (beale ()) in
   Alcotest.check q "objective" (qr (-1) 20) obj
+
+let test_anticycling () =
+  (* Beale's LP with zero tolerance for degenerate streaks: pricing must
+     hand over to Bland at the first degenerate pivot, the handover and at
+     least one Bland-chosen pivot must be reported, and — this is the
+     anti-cycling guarantee — the solve still terminates at the optimum. *)
+  match Lp.solve ~bland_after:0 (beale ()) with
+  | Lp.Optimal { objective; stats; _ } ->
+      Alcotest.check q "objective" (qr (-1) 20) objective;
+      Alcotest.(check bool) "bland pivot reported" true stats.Lp.bland_switched;
+      Alcotest.(check bool) "handover counted" true (stats.Lp.pricing_switches >= 1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let textbook () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => opt 36 at (2,6). *)
+  Lp.problem ~nvars:2 ~objective:[| qi (-3); qi (-5) |]
+    [ Lp.constr [ (0, Q.one) ] Lp.Le (qi 4);
+      Lp.constr [ (1, qi 2) ] Lp.Le (qi 12);
+      Lp.constr [ (0, qi 3); (1, qi 2) ] Lp.Le (qi 18) ]
+
+let test_warm_restart () =
+  (* Re-solving the same problem from its own optimal basis must skip
+     phase 1 entirely. *)
+  let p = textbook () in
+  match Lp.solve p with
+  | Lp.Optimal { basis; objective = o1; _ } -> (
+      match Lp.solve ~warm:basis p with
+      | Lp.Optimal { objective = o2; stats; _ } ->
+          Alcotest.check q "same optimum" o1 o2;
+          Alcotest.(check bool) "warm adopted" true stats.Lp.warm_started;
+          Alcotest.(check int) "phase 1 skipped" 0 stats.Lp.phase1_iterations
+      | _ -> Alcotest.fail "expected optimal")
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_warm_dual_repair () =
+  (* Tighten one variable bound after the solve, exactly as branch & bound
+     does. The parent optimum (2,6) violates the new bound y <= 4, so the
+     adopted basis is primal-infeasible and must be repaired by dual
+     pivots — not rejected — and the repaired answer must agree with a
+     cold solve of the tightened problem. *)
+  let p = textbook () in
+  match Lp.solve p with
+  | Lp.Optimal { basis; _ } -> (
+      let p' = { p with Lp.upper = [| None; Some (qi 4) |] } in
+      match (Lp.solve ~warm:basis p', Lp.solve p') with
+      | Lp.Optimal { objective; solution; stats; _ }, Lp.Optimal { objective = cold; _ }
+        ->
+          Alcotest.(check bool) "warm adopted" true stats.Lp.warm_started;
+          Alcotest.(check bool) "repair pivoted" true (stats.Lp.phase1_iterations >= 1);
+          Alcotest.(check bool) "feasible" true (Lp.feasible p' solution);
+          Alcotest.check q "matches cold solve" cold objective
+      | _ -> Alcotest.fail "expected optimal on both paths")
+  | _ -> Alcotest.fail "expected optimal"
 
 let test_fractional_data () =
   (* min 2/3 x + 1/7 y s.t. x + y >= 22/7, y <= 1. Opt: y = 1, x = 15/7. *)
@@ -140,7 +193,7 @@ let prop_random_lps =
           (* origin is feasible iff all rhs >= 0; rhs were drawn >= 0, so
              infeasibility would be a bug *)
           false
-      | Lp.Optimal { objective = obj; solution; stats } ->
+      | Lp.Optimal { objective = obj; solution; stats; _ } ->
           stats.Lp.pivots >= 0
           &&
           Lp.feasible p solution
@@ -241,6 +294,10 @@ let () =
           Alcotest.test_case "variable bounds" `Quick test_bounds;
           Alcotest.test_case "free variable" `Quick test_free_variable;
           Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate;
+          Alcotest.test_case "anti-cycling (Bland forced)" `Quick test_anticycling;
+          Alcotest.test_case "warm restart skips phase 1" `Quick test_warm_restart;
+          Alcotest.test_case "warm dual repair after bound cut" `Quick
+            test_warm_dual_repair;
           Alcotest.test_case "fractional data" `Quick test_fractional_data ] );
       ( "lst-rounding",
         [ Alcotest.test_case "simple" `Quick test_lst_simple;

@@ -44,7 +44,8 @@ let prop_splittable_ptas_valid =
       match S.validate_splittable inst sched with
       | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
       | Ok makespan ->
-          Q.(makespan <= splittable_guarantee p2 stats.Ccs.Ptas.Splittable_ptas.t_accepted))
+          let t_accepted = stats.Ccs.Ptas.Splittable_ptas.t_accepted in
+          Q.(makespan <= splittable_guarantee p2 t_accepted))
 
 let prop_splittable_ptas_vs_exact =
   QCheck.Test.make ~name:"Thm 10: accepted T within (1+delta) of exact opt" ~count:8
@@ -56,8 +57,8 @@ let prop_splittable_ptas_vs_exact =
           let _, stats = Ccs.Ptas.Splittable_ptas.solve p2 inst in
           (* completeness: the search cannot overshoot the optimum by more
              than one geometric grid step *)
-          Q.(stats.Ccs.Ptas.Splittable_ptas.t_accepted
-             <= Q.mul (Q.add Q.one (C.delta p2)) opt))
+          let t_accepted = stats.Ccs.Ptas.Splittable_ptas.t_accepted in
+          Q.(t_accepted <= Q.mul (Q.add Q.one (C.delta p2)) opt))
 
 let test_splittable_ptas_huge_m () =
   let inst =
@@ -67,8 +68,9 @@ let test_splittable_ptas_huge_m () =
   Alcotest.(check bool) "compressed" true stats.Ccs.Ptas.Splittable_ptas.compressed;
   match S.validate_splittable inst sched with
   | Ok makespan ->
+      let t_accepted = stats.Ccs.Ptas.Splittable_ptas.t_accepted in
       Alcotest.(check bool) "guarantee" true
-        Q.(makespan <= splittable_guarantee p2 stats.Ccs.Ptas.Splittable_ptas.t_accepted)
+        Q.(makespan <= splittable_guarantee p2 t_accepted)
   | Error e -> Alcotest.fail e
 
 let prop_oracle_matches_nfold_form =
@@ -129,8 +131,8 @@ let prop_nonpreemptive_ptas_valid =
       match S.validate_nonpreemptive inst sched with
       | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
       | Ok makespan ->
-          Q.(Q.of_int makespan
-             <= Ccs.Ptas.Nonpreemptive_ptas.guarantee p2 stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted))
+          let t_accepted = stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted in
+          Q.(Q.of_int makespan <= Ccs.Ptas.Nonpreemptive_ptas.guarantee p2 t_accepted))
 
 let prop_nonpreemptive_ptas_vs_exact =
   QCheck.Test.make ~name:"Thm 14: accepted T within (1+delta) of exact opt" ~count:12
@@ -140,8 +142,8 @@ let prop_nonpreemptive_ptas_vs_exact =
       | None -> QCheck.assume_fail ()
       | Some (opt, _) ->
           let _, stats = Ccs.Ptas.Nonpreemptive_ptas.solve p2 inst in
-          Q.(stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted
-             <= Q.mul (Q.add Q.one (C.delta p2)) (Q.of_int opt)))
+          let t_accepted = stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted in
+          Q.(t_accepted <= Q.mul (Q.add Q.one (C.delta p2)) (Q.of_int opt)))
 
 let test_nonpreemptive_grouping_heavy () =
   (* many tiny jobs force the Lemma 12 bundling path *)
@@ -162,8 +164,8 @@ let prop_preemptive_ptas_valid =
       match S.validate_preemptive inst sched with
       | Error e -> QCheck.Test.fail_reportf "invalid: %s" e
       | Ok makespan ->
-          Q.(makespan
-             <= Ccs.Ptas.Preemptive_ptas.guarantee p2 stats.Ccs.Ptas.Preemptive_ptas.t_accepted))
+          let t_accepted = stats.Ccs.Ptas.Preemptive_ptas.t_accepted in
+          Q.(makespan <= Ccs.Ptas.Preemptive_ptas.guarantee p2 t_accepted))
 
 let prop_preemptive_ptas_vs_split_opt =
   QCheck.Test.make ~name:"Thm 19: accepted T within (1+delta) of preemptive opt bound" ~count:10
@@ -174,8 +176,8 @@ let prop_preemptive_ptas_vs_split_opt =
       | None -> QCheck.assume_fail ()
       | Some (np_opt, _) ->
           let _, stats = Ccs.Ptas.Preemptive_ptas.solve p2 inst in
-          Q.(stats.Ccs.Ptas.Preemptive_ptas.t_accepted
-             <= Q.mul (Q.add Q.one (C.delta p2)) (Q.of_int np_opt)))
+          let t_accepted = stats.Ccs.Ptas.Preemptive_ptas.t_accepted in
+          Q.(t_accepted <= Q.mul (Q.add Q.one (C.delta p2)) (Q.of_int np_opt)))
 
 let test_preemptive_no_self_parallel_stress () =
   (* jobs exactly at the layer boundaries stress the flow realization *)
@@ -196,10 +198,11 @@ let test_delta_sweep () =
       let sched, stats = Ccs.Ptas.Nonpreemptive_ptas.solve p inst in
       match S.validate_nonpreemptive inst sched with
       | Ok mk ->
+          let t_accepted = stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted in
           Alcotest.(check bool)
             (Printf.sprintf "d=%d within guarantee" d)
             true
-            Q.(Q.of_int mk <= Ccs.Ptas.Nonpreemptive_ptas.guarantee p stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted)
+            Q.(Q.of_int mk <= Ccs.Ptas.Nonpreemptive_ptas.guarantee p t_accepted)
       | Error e -> Alcotest.fail e)
     [ 1; 2; 3 ]
 

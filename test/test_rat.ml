@@ -82,6 +82,83 @@ let props =
         let f = Q.to_float a in
         abs_float (f -. (B.to_float (Q.num a) /. B.to_float (Q.den a))) < 1e-9) ]
 
+(* ---------- promotion-boundary properties ---------- *)
+
+(* Integers clustered at the overflow frontiers of the unpacked small-int
+   representation: max_int/2 (the add/sub guards), 2^31 (where native
+   products start overflowing on 64-bit), and max_int itself (~2^62). The
+   fast path must agree bit-for-bit with arithmetic done wholly in Bigint,
+   and every result must be in canonical form: small iff it fits. *)
+let boundary_pair =
+  let open QCheck.Gen in
+  let near base = map (fun d -> base + d) (int_range (-2) 2) in
+  let frontier =
+    oneof
+      [ near (max_int / 2); near (-(max_int / 2));
+        near (1 lsl 31); near (-(1 lsl 31));
+        near (max_int - 2); near (2 - max_int);
+        map (fun x -> if x = 0 then 1 else x) (int_range (-5) 5) ]
+  in
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "%d/%d" a b)
+    (pair frontier (map (fun b -> if b = 0 then 1 else b) frontier))
+
+(* The small form excludes [min_int] components so that [neg]/[abs] can
+   never overflow; "fits" means the open-ended range [-max_int, max_int]. *)
+let fits b = match B.to_int_opt b with Some i -> i <> min_int | None -> false
+let canonical z = Q.is_small z = (fits (Q.num z) && fits (Q.den z))
+
+let boundary_props =
+  let via_bigint op x y =
+    let xn = Q.num x and xd = Q.den x and yn = Q.num y and yd = Q.den y in
+    match op with
+    | `Add -> Q.make (B.add (B.mul xn yd) (B.mul yn xd)) (B.mul xd yd)
+    | `Sub -> Q.make (B.sub (B.mul xn yd) (B.mul yn xd)) (B.mul xd yd)
+    | `Mul -> Q.make (B.mul xn yn) (B.mul xd yd)
+    | `Div -> Q.make (B.mul xn yd) (B.mul xd yn)
+  in
+  let check_op op fast (x, y) =
+    let z = fast x y in
+    Q.equal z (via_bigint op x y) && canonical z
+  in
+  let arb2 =
+    QCheck.pair boundary_pair boundary_pair
+    |> QCheck.map (fun ((a, b), (c, d)) -> (Q.of_ints a b, Q.of_ints c d))
+  in
+  [ QCheck.Test.make ~name:"boundary add = bigint add" ~count:400 arb2
+      (check_op `Add Q.add);
+    QCheck.Test.make ~name:"boundary sub = bigint sub" ~count:400 arb2
+      (check_op `Sub Q.sub);
+    QCheck.Test.make ~name:"boundary mul = bigint mul" ~count:400 arb2
+      (check_op `Mul Q.mul);
+    QCheck.Test.make ~name:"boundary div = bigint div" ~count:400 arb2 (fun (x, y) ->
+        Q.is_zero y || check_op `Div Q.div (x, y));
+    QCheck.Test.make ~name:"boundary compare = bigint compare" ~count:400 arb2
+      (fun (x, y) ->
+        let ref_cmp =
+          B.compare (B.mul (Q.num x) (Q.den y)) (B.mul (Q.num y) (Q.den x))
+        in
+        compare (Q.compare x y) 0 = compare ref_cmp 0) ]
+
+let test_ub_integral_magnitudes () =
+  (* The magnitudes Bounds.ub_integral works with — up to n = 10^5 jobs of
+     size up to 10^12, so sums near 10^17 and averages over up to 10^5
+     machines — must stay entirely on the small-int path. A promotion here
+     would put the makespan search's hottest numbers on the slow path. *)
+  let before = (Q.stats ()).Q.promotions in
+  let n = 100_000 and p = 1_000_000_000_000 in
+  let total = ref Q.zero in
+  for i = 1 to n do
+    total := Q.add !total (Q.of_int (p - i))
+  done;
+  let avg = Q.div !total (Q.of_int n) in
+  let bound = Q.add avg (Q.of_int p) in
+  Alcotest.(check bool) "sum positive" true Q.(!total > zero);
+  Alcotest.(check bool) "bound > avg" true Q.(bound > avg);
+  Alcotest.(check bool) "sum stayed small-form" true (Q.is_small !total);
+  Alcotest.(check bool) "avg stayed small-form" true (Q.is_small avg);
+  Alcotest.(check int) "no promotions" 0 ((Q.stats ()).Q.promotions - before)
+
 let () =
   Alcotest.run "rat"
     [ ( "unit",
@@ -89,5 +166,7 @@ let () =
           Alcotest.test_case "arithmetic" `Quick test_arith;
           Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
           Alcotest.test_case "strings" `Quick test_strings;
-          Alcotest.test_case "compare" `Quick test_compare ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest props) ]
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "ub_integral magnitudes stay small" `Quick
+            test_ub_integral_magnitudes ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest (props @ boundary_props)) ]
