@@ -1,0 +1,38 @@
+#!/bin/sh
+# Whitespace lint over the source tree: no trailing whitespace, no tab
+# characters, final newline present. This is the *enforcing* half of the
+# format gate — the ocamlformat job proper stays advisory until the tree
+# has been bulk-formatted (see .github/workflows/ci.yml). Generated and
+# third-party reference files (PAPERS.md, SNIPPETS.md) are exempt.
+set -eu
+cd "$(dirname "$0")/.."
+TAB=$(printf '\t')
+status=0
+# *.t (cram) files are exempt: blank expected-output lines are encoded as
+# two trailing spaces, which is load-bearing there.
+for f in $(git ls-files '*.ml' '*.mli' '*.yml' '*.sh' 'dune-project' '*dune' \
+             README.md DESIGN.md ROADMAP.md EXPERIMENTS.md CHANGES.md); do
+  if grep -nE '[ '"$TAB"']+$' "$f" /dev/null >/dev/null 2>&1; then
+    echo "trailing whitespace in $f:"
+    grep -nE '[ '"$TAB"']+$' "$f" | head -3
+    status=1
+  fi
+  case "$f" in
+    *.sh) ;; # here-doc payloads may legitimately hold tabs
+    *)
+      if grep -n "$TAB" "$f" /dev/null >/dev/null 2>&1; then
+        echo "tab character in $f:"
+        grep -n "$TAB" "$f" | head -3
+        status=1
+      fi
+      ;;
+  esac
+  if [ -s "$f" ] && [ -n "$(tail -c1 "$f")" ]; then
+    echo "missing final newline: $f"
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "whitespace lint: clean"
+fi
+exit $status
