@@ -25,9 +25,9 @@ let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ccs_util.Mono.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Ccs_util.Mono.now_s () -. t0)
 
 (* Time [f] against a freshly reset metrics registry; returns the result,
    wall-clock seconds and the solver counters [f] accumulated (active

@@ -58,9 +58,9 @@ let phases =
 let time_phase f =
   let best = ref infinity in
   for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Ccs_util.Mono.now_s () in
     f ();
-    best := min !best (Unix.gettimeofday () -. t0)
+    best := min !best (Ccs_util.Mono.now_s () -. t0)
   done;
   !best
 
@@ -87,14 +87,18 @@ let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
    machinery (a cold-start regression shows up here long before it moves a
    noisy wall), and rat.promotions guards the small-int fast path (a single
    careless magnitude blow-up sends the hot numbers to the Bigint arm). *)
-let counter_names = [ "lp.phase1_iterations"; "rat.promotions" ]
+let counter_names = [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks" ]
 
 let measure_counters () =
   let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
   let param = Ccs.Ptas.Common.param 1 in
   Ccs_obs.Metrics.reset ();
+  Ccs_resil.Deadline.reset_stats ();
   ignore (Ccs.Ptas.Splittable_ptas.solve param small);
   ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small);
+  (* the exact checkpoint count guards the cancellation layer's overhead:
+     a new checkpoint in a hot loop moves this long before it moves a wall *)
+  Ccs_resil.Deadline.flush_stats ();
   let snap = Ccs_obs.Metrics.snapshot ~all:true () in
   List.map
     (fun name ->

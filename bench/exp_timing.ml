@@ -150,8 +150,78 @@ and write_timing_json () =
         ("wall_s_jobs4", J.Float wall_j4);
         ("speedup_jobs4", J.Float speedup) ]
   in
+  (* Resilience sweep: the degradation ladder on E5-style instances under a
+     deadline far below the exact rung's runtime. Every run must come back
+     Degraded with a validator-clean incumbent and a sound ratio bound; the
+     JSON records the observed deadline overshoot (p99 and max), which the
+     grace-window design keeps well under 50ms. *)
+  let resil =
+    let module D = Ccs_anytime.Driver in
+    let module O = Ccs_resil.Outcome in
+    let module Deadline = Ccs_resil.Deadline in
+    let deadline_ms = 3 in
+    let seeds = List.init 15 (fun i -> 1 + i) in
+    let runs = ref 0 and degraded = ref 0 and invalid = ref 0 in
+    let overshoots = ref [] in
+    let one validate solve =
+      incr runs;
+      let tok = Deadline.of_budget_ms deadline_ms in
+      let limit = Option.get (Deadline.limit_ns tok) in
+      let outcome = solve tok in
+      overshoots :=
+        (float_of_int (max 0 (Ccs_util.Mono.now_ns () - limit)) /. 1e6) :: !overshoots;
+      match outcome with
+      | O.Complete _ -> ()
+      | O.Degraded d ->
+          incr degraded;
+          let ok =
+            match d.O.incumbent with
+            | None -> false
+            | Some (s : _ D.solved) -> (
+                match validate s.D.schedule with
+                | Ok mk ->
+                    Rat.equal mk s.D.makespan
+                    && Rat.(d.O.lower_bound <= mk)
+                    && (match d.O.ratio_bound with
+                       | Some r -> Rat.equal r Rat.(mk / d.O.lower_bound)
+                       | None -> false)
+                | Error _ -> false)
+          in
+          if not ok then incr invalid
+    in
+    List.iter
+      (fun seed ->
+        let inst =
+          U.instance ~seed:(seed * 104729) ~family:Ccs.Generator.Uniform ~n:46 ~classes:9
+            ~machines:7 ~slots:2 ~p_hi:1000
+        in
+        one (Ccs.Schedule.validate_splittable inst) (fun tok ->
+            D.solve_splittable ~deadline:tok inst);
+        one (Ccs.Schedule.validate_preemptive inst) (fun tok ->
+            D.solve_preemptive ~deadline:tok inst);
+        one
+          (fun a -> Result.map Rat.of_int (Ccs.Schedule.validate_nonpreemptive inst a))
+          (fun tok -> D.solve_nonpreemptive ~deadline:tok inst))
+      seeds;
+    let sorted = List.sort compare !overshoots |> Array.of_list in
+    let pct p =
+      if Array.length sorted = 0 then 0.0
+      else sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted)))) in
+    J.Obj
+      [ ("deadline_ms", J.Int deadline_ms);
+        ("runs", J.Int !runs);
+        ("degraded", J.Int !degraded);
+        ("invalid_outcomes", J.Int !invalid);
+        ("overshoot_ms_p50", J.Float (pct 0.50));
+        ("overshoot_ms_p99", J.Float (pct 0.99));
+        ("overshoot_ms_max", J.Float (pct 1.0)) ]
+  in
   let path = "BENCH_timing.json" in
-  U.write_json path (J.Obj [ ("rows", J.List (approx_rows @ ptas_rows)); ("ptas_sweep", sweep) ]);
+  U.write_json path
+    (J.Obj
+       [ ("rows", J.List (approx_rows @ ptas_rows));
+         ("ptas_sweep", sweep);
+         ("resil_sweep", resil) ]);
   U.footnote
     (Printf.sprintf "wrote %s (%d rows; PTAS sweep at -j 4: %.2fx on %d core%s%s)" path
        (List.length approx_rows + List.length ptas_rows)

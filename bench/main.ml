@@ -50,12 +50,12 @@ let () =
     exit 1
   end;
   Printf.printf "CCS reproduction benchmarks — %d experiment(s)\n" (List.length requested);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ccs_util.Mono.now_s () in
   List.iter
     (fun id ->
       let f = List.assoc id experiments in
-      let t = Unix.gettimeofday () in
+      let t = Ccs_util.Mono.now_s () in
       f ();
-      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t))
+      Printf.printf "[%s done in %.1fs]\n%!" id (Ccs_util.Mono.now_s () -. t))
     requested;
-  Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nall done in %.1fs\n" (Ccs_util.Mono.now_s () -. t0)

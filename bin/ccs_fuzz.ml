@@ -32,7 +32,48 @@ let family_conv =
   in
   Arg.conv (parse, print)
 
-let run seed count epsilon jobs max_n family no_metamorphic no_shrink verbose obs =
+(* Chaos mode (--faults and/or --deadline-ms): instead of the differential
+   oracle, run the Ccs_anytime degradation ladder on every instance under
+   deadlines and seeded fault injection and demand a valid schedule or a
+   clean Degraded value from every run. Sequential by design — see
+   Ccs_check.Chaos. *)
+let run_chaos seed count epsilon max_n deadline_ms faults cancel_ppm raise_ppm delay_ppm verbose =
+  let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
+  let config =
+    {
+      Ccs_check.Chaos.default_config with
+      seed;
+      count;
+      param = Ccs.Ptas.Common.param d;
+      max_n;
+      deadline_ms;
+      faults;
+      cancel_ppm;
+      raise_ppm;
+      delay_ppm;
+    }
+  in
+  let report = Ccs_check.Chaos.run config in
+  List.iter
+    (fun f -> print_string (Ccs_check.Chaos.render_failure config f))
+    report.Ccs_check.Chaos.failures;
+  if verbose then
+    List.iter
+      (fun (phase, n) -> Printf.printf "%-24s %8d degraded\n" phase n)
+      report.Ccs_check.Chaos.phases;
+  let nfail = List.length report.Ccs_check.Chaos.failures in
+  Printf.printf
+    "chaos: %d runs (seed %d%s%s): %d complete, %d degraded, max overshoot %.1fms: %s\n"
+    report.Ccs_check.Chaos.runs seed
+    (match deadline_ms with Some ms -> Printf.sprintf ", deadline %dms" ms | None -> "")
+    (if faults then ", faults armed" else "")
+    report.Ccs_check.Chaos.complete report.Ccs_check.Chaos.degraded
+    report.Ccs_check.Chaos.max_overshoot_ms
+    (if nfail = 0 then "no failures" else Printf.sprintf "%d failures" nfail);
+  if nfail = 0 then 0 else 1
+
+let run seed count epsilon jobs max_n family no_metamorphic no_shrink verbose deadline_ms faults
+    cancel_ppm raise_ppm delay_ppm obs =
   Obs_cli.with_reporting obs @@ fun () ->
   if jobs < 1 then begin
     Printf.eprintf "error: --jobs must be >= 1\n";
@@ -42,6 +83,8 @@ let run seed count epsilon jobs max_n family no_metamorphic no_shrink verbose ob
     Printf.eprintf "error: --count must be >= 1\n";
     2
   end
+  else if faults || deadline_ms <> None then
+    run_chaos seed count epsilon max_n deadline_ms faults cancel_ppm raise_ppm delay_ppm verbose
   else begin
     Ccs_par.set_jobs jobs;
     let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
@@ -99,6 +142,22 @@ let cmd =
                ~doc:"Pin every instance to one workload family (uniform, zipf, heavy, \
                      large or lp-stress) instead of drawing it per index.")
   in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+           & info [ "deadline-ms" ] ~docv:"MS"
+               ~doc:"Chaos mode: run the anytime degradation ladder with a $(docv) budget per \
+                     run instead of the differential oracle; every run must return a valid \
+                     schedule or a clean degraded value.")
+  in
+  let faults =
+    Arg.(value & flag
+           & info [ "faults" ]
+               ~doc:"Chaos mode: arm a seeded fault plan (cancellations, synthetic crashes, \
+                     latency) at the solvers' cancellation checkpoints.")
+  in
+  let cancel_ppm = Arg.(value & opt int 1000 & info [ "cancel-ppm" ] ~doc:"Per-million cancel probability per checkpoint (with --faults).") in
+  let raise_ppm = Arg.(value & opt int 500 & info [ "raise-ppm" ] ~doc:"Per-million synthetic-crash probability per checkpoint (with --faults).") in
+  let delay_ppm = Arg.(value & opt int 500 & info [ "delay-ppm" ] ~doc:"Per-million latency-injection probability per checkpoint (with --faults).") in
   let no_metamorphic = Arg.(value & flag & info [ "no-metamorphic" ] ~doc:"Skip the metamorphic (scale/permute/add-machine) probes.") in
   let no_shrink = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report original instances instead of shrunk repros.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-solver solved/skipped tally.") in
@@ -116,6 +175,7 @@ let cmd =
         ]
   in
   Cmd.v info
-    Term.(const run $ seed $ count $ epsilon $ jobs $ max_n $ family $ no_metamorphic $ no_shrink $ verbose $ Obs_cli.term)
+    Term.(const run $ seed $ count $ epsilon $ jobs $ max_n $ family $ no_metamorphic $ no_shrink
+          $ verbose $ deadline_ms $ faults $ cancel_ppm $ raise_ppm $ delay_ppm $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -80,9 +80,57 @@ let print_preemptive buf sched =
       end)
     sched
 
+(* Anytime mode (--deadline-ms / --anytime): run the degradation ladder
+   starting at the requested algorithm's rung. A deadline never fails the
+   run — it degrades it, and the degraded incumbent is validated and
+   printed with its certified lower bound and ratio. *)
+let solve_anytime_one ~out inst variant algo param deadline_ms quiet =
+  let module D = Ccs_anytime.Driver in
+  let module O = Ccs_resil.Outcome in
+  let start = match algo with Exact -> D.Exact | Ptas -> D.Ptas | Approx -> D.Approx in
+  let deadline = Option.map Ccs_resil.Deadline.of_budget_ms deadline_ms in
+  let finish : 'a. string -> ('a -> (Q.t, string) result) -> ('a -> unit) -> 'a D.solved O.t -> unit =
+   fun name validate print o ->
+    match o with
+    | O.Complete s ->
+        let mk = Result.get_ok (validate s.D.schedule) in
+        Printf.bprintf out "%s anytime: makespan %s (complete, %s rung)\n" name (Q.to_string mk)
+          (D.rung_name s.D.rung);
+        if not quiet then print s.D.schedule
+    | O.Degraded dg ->
+        (* The fallback rung cannot fail, so a degraded outcome always
+           carries an incumbent. *)
+        let s = Option.get dg.O.incumbent in
+        let mk = Result.get_ok (validate s.D.schedule) in
+        Printf.bprintf out
+          "%s anytime: degraded at %s rung: incumbent makespan %s (%s rung), lower bound %s%s\n"
+          name dg.O.phase_reached (Q.to_string mk) (D.rung_name s.D.rung)
+          (Q.to_string dg.O.lower_bound)
+          (match dg.O.ratio_bound with
+          | Some r -> Printf.sprintf ", ratio <= %.4g" (Q.to_float r)
+          | None -> "");
+        if not quiet then print s.D.schedule
+  in
+  match variant with
+  | Splittable ->
+      finish "splittable"
+        (Ccs.Schedule.validate_splittable inst)
+        (print_splittable out)
+        (D.solve_splittable ?deadline ~start ~param inst)
+  | Preemptive ->
+      finish "preemptive"
+        (Ccs.Schedule.validate_preemptive inst)
+        (print_preemptive out)
+        (D.solve_preemptive ?deadline ~start ~param inst)
+  | Nonpreemptive ->
+      finish "non-preemptive"
+        (fun a -> Result.map Q.of_int (Ccs.Schedule.validate_nonpreemptive inst a))
+        (print_nonpreemptive out inst)
+        (D.solve_nonpreemptive ?deadline ~start ~param inst)
+
 (* Solve one instance, accumulating stdout/stderr text into the buffers.
    Returns the exit code. *)
-let solve_one ~out ~err file variant algo epsilon quiet =
+let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime =
   match Ccs.Io.load file with
   | Error e ->
       Printf.bprintf err "error: %s\n" e;
@@ -93,6 +141,11 @@ let solve_one ~out ~err file variant algo epsilon quiet =
       let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
       let param = Ccs.Ptas.Common.param d in
       try
+        if anytime || deadline_ms <> None then begin
+          solve_anytime_one ~out inst variant algo param deadline_ms quiet;
+          0
+        end
+        else begin
         (match (variant, algo) with
         | Splittable, Approx ->
             let sched, stats = Ccs.Approx.Splittable.solve inst in
@@ -146,6 +199,7 @@ let solve_one ~out ~err file variant algo epsilon quiet =
                 if not quiet then print_nonpreemptive out inst sched
             | None -> Printf.bprintf out "exact search out of budget\n"));
         0
+        end
       with
       | Invalid_argument msg ->
           Printf.bprintf err "error: %s\n" msg;
@@ -154,7 +208,7 @@ let solve_one ~out ~err file variant algo epsilon quiet =
           Printf.bprintf err "error: configuration space too large for this epsilon\n";
           1)
 
-let run files variant algo epsilon quiet jobs obs =
+let run files variant algo epsilon quiet jobs deadline_ms anytime obs =
   Obs_cli.with_reporting obs @@ fun () ->
   if jobs < 1 then begin
     Printf.eprintf "error: --jobs must be >= 1\n";
@@ -168,7 +222,7 @@ let run files variant algo epsilon quiet jobs obs =
         (fun file ->
           let out = Buffer.create 256 and err = Buffer.create 64 in
           if many then Printf.bprintf out "=== %s ===\n" file;
-          let code = solve_one ~out ~err file variant algo epsilon quiet in
+          let code = solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime in
           (out, err, code))
         (Array.of_list files)
     in
@@ -194,7 +248,22 @@ let cmd =
            ~doc:"Worker domains for the batch and the in-solver probe loops. \
                  Output is deterministic: seeded runs are bit-identical at any $(docv).")
   in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+           & info [ "deadline-ms" ] ~docv:"MS"
+               ~doc:"Solve anytime under a $(docv) budget: walk the degradation ladder \
+                     (exact, PTAS, 2-approx, greedy) and report the best incumbent with a \
+                     certified ratio if the deadline lands mid-solve.")
+  in
+  let anytime =
+    Arg.(value & flag
+           & info [ "anytime" ]
+               ~doc:"Use the degradation ladder even without a deadline ($(b,--algo) picks \
+                     the starting rung).")
+  in
   let info = Cmd.info "ccs_solve" ~doc:"Solve Class Constrained Scheduling instances" in
-  Cmd.v info Term.(const run $ files $ variant $ algo $ epsilon $ quiet $ jobs $ Obs_cli.term)
+  Cmd.v info
+    Term.(const run $ files $ variant $ algo $ epsilon $ quiet $ jobs $ deadline_ms $ anytime
+          $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

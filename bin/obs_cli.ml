@@ -48,7 +48,12 @@ let report t =
       Ccs_obs.Span.write_chrome_trace path;
       Printf.eprintf "wrote trace (%d spans) to %s\n" (Ccs_obs.Span.count ()) path
   | None -> ());
-  if t.metrics then print_endline (Ccs_obs.Metrics.dump_table ())
+  if t.metrics then begin
+    (* the cancellation layer batches its check count locally; fold the
+       tail into the registry so the table never under-reports it *)
+    Ccs_resil.Deadline.flush_stats ();
+    print_endline (Ccs_obs.Metrics.dump_table ())
+  end
 
 let with_reporting t f =
   match f () with

@@ -9,9 +9,9 @@
 module Q = Rat
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ccs_util.Mono.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Ccs_util.Mono.now_s () -. t0)
 
 let () =
   let inst =

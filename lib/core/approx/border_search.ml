@@ -5,6 +5,10 @@ type result = { t_star : Q.t; probes : int }
 let m_probes = Ccs_obs.Metrics.counter "border_search.probes"
 let m_searches = Ccs_obs.Metrics.counter "border_search.searches"
 
+(* Each feasibility probe scans all classes (O(C log)), so the clock is
+   read every time. *)
+let chk_probe = Ccs_resil.Deadline.site "approx.probe"
+
 let count_classes ~loads ~cap t =
   let count = ref 0 in
   (try
@@ -33,6 +37,7 @@ let search ~loads ~machines ~slots ~lb =
   @@ fun () ->
   let cap = slot_cap ~machines ~slots in
   let feasible probes t =
+    Ccs_resil.Deadline.check chk_probe;
     incr probes;
     count_classes ~loads ~cap t <= cap
   in

@@ -1,5 +1,7 @@
 type stats = { t_guess : int; probes : int }
 
+let chk_probe = Ccs_resil.Deadline.site "approx.probe"
+
 (* C2_u: jobs > T/2 need distinct machines; jobs in (T/3, T/2] are paired
    onto them greedily (largest fitting on the smallest remaining big job
    maximizes the number of pairings); leftovers go two per machine. *)
@@ -45,6 +47,7 @@ let solve_with_counter ?(use_lpt = true) ~counter inst =
     let cap = Border_search.slot_cap ~machines:m ~slots:(Instance.c inst) in
     let probes = ref 0 in
     let feasible t =
+      Ccs_resil.Deadline.check chk_probe;
       incr probes;
       let count = ref 0 in
       (try

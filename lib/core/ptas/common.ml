@@ -8,6 +8,11 @@ let param d =
 
 let delta p = Q.of_ints 1 p.d
 
+(* Cancellation checkpoints: configuration enumeration is the hot DFS,
+   one guess probe of the dual-approximation search is the coarse site. *)
+let chk_enum = Ccs_resil.Deadline.site ~hot:true "ptas.enum"
+let chk_guess = Ccs_resil.Deadline.site "ptas.guess"
+
 exception Too_many
 
 let multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
@@ -20,6 +25,7 @@ let multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
   let explore parts0 current0 sum0 cnt0 =
     let out = ref [] in
     let rec go parts current sum cnt =
+      Ccs_resil.Deadline.check chk_enum;
       if Atomic.fetch_and_add count 1 >= limit then raise Too_many;
       out := List.rev current :: !out;
       match parts with
@@ -66,6 +72,7 @@ let bounded_multisets ?(limit = 200_000) ~parts ~max_sum ~max_count () =
   let out = ref [] in
   let count = ref 0 in
   let rec go parts current sum cnt =
+    Ccs_resil.Deadline.check chk_enum;
     incr count;
     if !count > limit then raise Too_many;
     out := List.rev current :: !out;
@@ -141,13 +148,27 @@ let solve_int_feasibility ?(max_nodes = 50_000) ?warm ?basis_out ~nvars ~upper r
   | Ilp.Node_limit -> raise Budget_exceeded
   | Ilp.Unbounded -> None
 
-let geometric_search ~lb ~ub ~delta ~oracle =
+type 'a progress = {
+  mutable accepted : ('a * Q.t) option;
+  mutable rejected : Q.t option;
+}
+
+let progress () = { accepted = None; rejected = None }
+
+type 'a anytime = {
+  result : ('a * Q.t) option;
+  refuted : Q.t option;
+  complete : bool;
+}
+
+let geometric_search ?progress:prog ~lb ~ub ~delta ~oracle () =
   if Q.(ub < lb) then invalid_arg "geometric_search: ub < lb";
   Ccs_obs.Span.with_ "ptas.binary_search"
     ~fields:
       [ Ccs_obs.Log.str "lb" (Q.to_string lb); Ccs_obs.Log.str "ub" (Q.to_string ub) ]
   @@ fun () ->
   let oracle t =
+    Ccs_resil.Deadline.check chk_guess;
     Ccs_obs.Metrics.incr m_guesses;
     let answer = oracle t in
     Ccs_obs.Log.debug (fun log ->
@@ -173,9 +194,21 @@ let geometric_search ~lb ~ub ~delta ~oracle =
      from the sequential implementation — and because the oracle is monotone
      (see the interface), every pool size converges to the same smallest
      accepted grid index, making seeded runs bit-identical at any --jobs. *)
+  let record_accept w t =
+    match prog with None -> () | Some p -> p.accepted <- Some (w, t)
+  in
+  let record_reject t =
+    match prog with
+    | None -> ()
+    | Some p -> (
+        match p.rejected with
+        | Some r when Q.(r >= t) -> ()
+        | _ -> p.rejected <- Some t)
+  in
   match oracle (point imax) with
   | None -> failwith "geometric_search: oracle rejected the upper bound"
   | Some witness_ub ->
+      record_accept witness_ub (point imax);
       let best = ref (witness_ub, point imax) in
       let lo = ref 0 and hi = ref imax in
       while !lo < !hi do
@@ -204,10 +237,18 @@ let geometric_search ~lb ~ub ~delta ~oracle =
         match !accepted with
         | Some (i, w) ->
             best := (w, point i);
+            record_accept w (point i);
             hi := i;
             Array.iteri
-              (fun j a -> if a = None && probes.(j) < i then lo := max !lo (probes.(j) + 1))
+              (fun j a ->
+                if a = None && probes.(j) < i then begin
+                  record_reject (point probes.(j));
+                  lo := max !lo (probes.(j) + 1)
+                end)
               answers
-        | None -> lo := probes.(Array.length probes - 1) + 1
+        | None ->
+            let last = probes.(Array.length probes - 1) in
+            record_reject (point last);
+            lo := last + 1
       done;
       !best

@@ -58,11 +58,42 @@ val solve_int_feasibility :
     [ptas.configs]); every PTAS variant calls this once per guess. *)
 val observe_rounding : large:int -> small_groups:int -> configs:int -> unit
 
+(** Live progress of a {!geometric_search}, for recovering a certified
+    partial answer when the search is cancelled mid-flight: [accepted] is
+    the best (lowest-guess) witness produced so far, [rejected] the highest
+    guess the oracle has refuted — by the dual-approximation argument a
+    certificate that no schedule of makespan [rejected] exists for the
+    rounded relaxation, hence a lower-bound witness for the search. Updated
+    by the coordinating domain only (between probe rounds). *)
+type 'a progress = {
+  mutable accepted : ('a * Rat.t) option;
+  mutable rejected : Rat.t option;
+}
+
+val progress : unit -> 'a progress
+
+(** Outcome of an interruptible PTAS run (see [solve_anytime] in the three
+    variant modules): the best accepted witness with its guess, the highest
+    refuted guess, and whether the search actually finished (in which case
+    [result] is the same answer [solve] returns). *)
+type 'a anytime = {
+  result : ('a * Rat.t) option;
+  refuted : Rat.t option;
+  complete : bool;
+}
+
 (** [geometric_search ~lb ~ub ~delta ~oracle] finds the smallest grid point
     [T = lb * (1+delta)^i] (clamped to [ub]) accepted by the oracle and
     returns the oracle's witness together with the accepted guess. The
     oracle must be monotone (accepting T implies accepting any larger grid
     point); this is the standard dual-approximation argument. Raises
-    [Failure] if even [ub] is rejected. *)
+    [Failure] if even [ub] is rejected. [progress] (when supplied) is kept
+    current while the search runs. *)
 val geometric_search :
-  lb:Rat.t -> ub:Rat.t -> delta:Rat.t -> oracle:(Rat.t -> 'a option) -> 'a * Rat.t
+  ?progress:'a progress ->
+  lb:Rat.t ->
+  ub:Rat.t ->
+  delta:Rat.t ->
+  oracle:(Rat.t -> 'a option) ->
+  unit ->
+  'a * Rat.t

@@ -384,7 +384,7 @@ let oracle ?warm ?basis_out (p : Common.param) inst t =
         | Ok _ -> Some assignment
         | Error e -> failwith ("Nonpreemptive_ptas: constructed invalid schedule: " ^ e))
 
-let solve p inst =
+let solve ?progress p inst =
   if not (Instance.schedulable inst) then
     invalid_arg "Nonpreemptive_ptas.solve: C > c*m, no schedule exists";
   let n = Instance.n inst in
@@ -420,7 +420,7 @@ let solve p inst =
     let approx_sched, _ = Approx.Nonpreemptive.solve inst in
     let ub = Q.max lb (Q.of_int (Schedule.nonpreemptive_makespan inst approx_sched)) in
     let sched, t_accepted =
-      Common.geometric_search ~lb ~ub ~delta:(Common.delta p) ~oracle:orc
+      Common.geometric_search ?progress ~lb ~ub ~delta:(Common.delta p) ~oracle:orc ()
     in
     let rounded = round_instance p inst t_accepted in
     let layout = build_layout rounded in
@@ -448,3 +448,16 @@ let abstract p inst t =
     a_large_hists = List.map (fun (_, hist, _) -> hist) rounded.large;
     a_smalls = List.map (fun (s, cls) -> (s, List.length cls)) rounded.smalls_by_size;
   }
+
+(* Anytime entry; see Splittable_ptas.solve_anytime. *)
+let solve_anytime p inst =
+  let prog = Common.progress () in
+  match solve ~progress:prog p inst with
+  | sched, stats ->
+      { Common.result = Some (sched, stats.t_accepted);
+        refuted = prog.Common.rejected;
+        complete = true }
+  | exception Ccs_resil.Deadline.Cancelled _ ->
+      { Common.result = prog.Common.accepted;
+        refuted = prog.Common.rejected;
+        complete = false }

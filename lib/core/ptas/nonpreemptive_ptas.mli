@@ -31,7 +31,14 @@ type stats = {
     (1+3delta)(1+2delta)T + delta*T. *)
 val guarantee : Common.param -> Rat.t -> Rat.t
 
-val solve : Common.param -> Instance.t -> Schedule.nonpreemptive * stats
+val solve :
+  ?progress:Schedule.nonpreemptive Common.progress ->
+  Common.param ->
+  Instance.t ->
+  Schedule.nonpreemptive * stats
+
+(** Deadline-tolerant variant; see {!Splittable_ptas.solve_anytime}. *)
+val solve_anytime : Common.param -> Instance.t -> Schedule.nonpreemptive Common.anytime
 
 (** Feasibility oracle for one guess (exposed for tests). *)
 val oracle :

@@ -513,7 +513,7 @@ let oracle ?warm ?basis_out (p : Common.param) inst t =
         | Ok _ -> Some sched
         | Error e -> failwith ("Preemptive_ptas: constructed invalid schedule: " ^ e))
 
-let solve p inst =
+let solve ?progress p inst =
   if not (Instance.schedulable inst) then
     invalid_arg "Preemptive_ptas.solve: C > c*m, no schedule exists";
   let n = Instance.n inst in
@@ -549,7 +549,7 @@ let solve p inst =
     let approx_mk = Schedule.preemptive_makespan approx_sched in
     let ub = Q.max lb approx_mk in
     let sched, t_accepted =
-      Common.geometric_search ~lb ~ub ~delta:(Common.delta p) ~oracle:orc
+      Common.geometric_search ?progress ~lb ~ub ~delta:(Common.delta p) ~oracle:orc ()
     in
     let rounded = round_instance p inst t_accepted in
     let layout = build_layout rounded in
@@ -567,3 +567,16 @@ let solve p inst =
         ilp_vars = layout.nvars;
         layers = rounded.layers;
       } )
+
+(* Anytime entry; see Splittable_ptas.solve_anytime. *)
+let solve_anytime p inst =
+  let prog = Common.progress () in
+  match solve ~progress:prog p inst with
+  | sched, stats ->
+      { Common.result = Some (sched, stats.t_accepted);
+        refuted = prog.Common.rejected;
+        complete = true }
+  | exception Ccs_resil.Deadline.Cancelled _ ->
+      { Common.result = prog.Common.accepted;
+        refuted = prog.Common.rejected;
+        complete = false }

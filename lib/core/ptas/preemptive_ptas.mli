@@ -38,7 +38,14 @@ type stats = {
     (1+3delta)(1+delta^2)T + delta^2*T + delta*T. *)
 val guarantee : Common.param -> Rat.t -> Rat.t
 
-val solve : Common.param -> Instance.t -> Schedule.preemptive * stats
+val solve :
+  ?progress:Schedule.preemptive Common.progress ->
+  Common.param ->
+  Instance.t ->
+  Schedule.preemptive * stats
+
+(** Deadline-tolerant variant; see {!Splittable_ptas.solve_anytime}. *)
+val solve_anytime : Common.param -> Instance.t -> Schedule.preemptive Common.anytime
 
 (** Feasibility oracle for one guess (exposed for tests). *)
 val oracle :

@@ -414,7 +414,7 @@ let oracle ?(explicit_limit = 4096) ?warm ?basis_out (p : Common.param) inst t =
       | Ok _ -> Some sched
       | Error e -> failwith ("Splittable_ptas: constructed invalid schedule: " ^ e))
 
-let solve ?(explicit_limit = 4096) p inst =
+let solve ?(explicit_limit = 4096) ?progress p inst =
   if not (Instance.schedulable inst) then
     invalid_arg "Splittable_ptas.solve: C > c*m, no schedule exists";
   Ccs_obs.Span.with_ "splittable.solve"
@@ -443,7 +443,9 @@ let solve ?(explicit_limit = 4096) p inst =
   in
   let lb = Bounds.lb_splittable inst in
   let ub = Q.max lb (Bounds.ub_splittable inst) in
-  let sched, t_accepted = Common.geometric_search ~lb ~ub ~delta:(Common.delta p) ~oracle:orc in
+  let sched, t_accepted =
+    Common.geometric_search ?progress ~lb ~ub ~delta:(Common.delta p) ~oracle:orc ()
+  in
   (let rounded = round_instance p inst t_accepted in
    let layout = build_layout rounded (configurations p inst rounded) in
    last_vars := layout.nvars);
@@ -461,3 +463,18 @@ let solve ?(explicit_limit = 4096) p inst =
       compressed = Instance.m inst > explicit_limit;
       ilp_vars = !last_vars;
     } )
+
+(* Anytime entry: run the full PTAS, but on cancellation salvage the best
+   accepted witness (already a validated schedule) and the highest refuted
+   guess from the search's progress record instead of losing the run. *)
+let solve_anytime ?explicit_limit p inst =
+  let prog = Common.progress () in
+  match solve ?explicit_limit ~progress:prog p inst with
+  | sched, stats ->
+      { Common.result = Some (sched, stats.t_accepted);
+        refuted = prog.Common.rejected;
+        complete = true }
+  | exception Ccs_resil.Deadline.Cancelled _ ->
+      { Common.result = prog.Common.accepted;
+        refuted = prog.Common.rejected;
+        complete = false }

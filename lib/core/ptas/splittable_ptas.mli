@@ -36,7 +36,19 @@ type stats = {
     returned schedule is already validated against the original instance.
     Raises [Invalid_argument] on unschedulable instances and
     [Common.Too_many] if the configuration space for this delta explodes. *)
-val solve : ?explicit_limit:int -> Common.param -> Instance.t -> Schedule.splittable * stats
+val solve :
+  ?explicit_limit:int ->
+  ?progress:Schedule.splittable Common.progress ->
+  Common.param ->
+  Instance.t ->
+  Schedule.splittable * stats
+
+(** Deadline-tolerant variant: never raises
+    {!Ccs_resil.Deadline.Cancelled}; on cancellation the best accepted
+    witness so far (if any) and the highest refuted guess are returned with
+    [complete = false]. *)
+val solve_anytime :
+  ?explicit_limit:int -> Common.param -> Instance.t -> Schedule.splittable Common.anytime
 
 (** The feasibility oracle for one guess (exposed for tests): [None] means
     provably no schedule with makespan T exists. *)

@@ -4,7 +4,16 @@ let m_prune_area = Ccs_obs.Metrics.counter "bnb.prunes_area"
 let m_incumbents = Ccs_obs.Metrics.counter "bnb.incumbents"
 let m_limit_hits = Ccs_obs.Metrics.counter "bnb.node_limit_hits"
 
-let solve ?(node_limit = 50_000_000) inst =
+(* Node expansions run at millions per second, so the checkpoint is a hot
+   site (amortized clock read). *)
+let chk_node = Ccs_resil.Deadline.site ~hot:true "bnb.node"
+
+(* The search warm-starts from the 7/3 approximation, so an incumbent
+   exists from node zero: interrupting the search at any point still
+   yields a valid schedule, just a possibly sub-optimal one. *)
+type status = Complete | Node_limit | Interrupted of exn
+
+let solve_status ?(node_limit = 50_000_000) inst =
   if not (Ccs.Instance.schedulable inst) then None
   else begin
     let n = Ccs.Instance.n inst in
@@ -35,6 +44,7 @@ let solve ?(node_limit = 50_000_000) inst =
     let incumbents = ref 0 in
     let exception Limit in
     let rec go idx current_max =
+      Ccs_resil.Deadline.check chk_node;
       incr nodes;
       if !nodes > node_limit then raise Limit;
       if current_max < !best then begin
@@ -101,19 +111,27 @@ let solve ?(node_limit = 50_000_000) inst =
                 Ccs_obs.Log.int "m" m;
                 Ccs_obs.Log.int "nodes" !nodes;
                 Ccs_obs.Log.int "prunes_area" !prunes;
-                Ccs_obs.Log.bool "limit_hit" (result = None) ]
+                Ccs_obs.Log.bool "complete" (result = Complete) ]
             "bnb.solve");
-      result
+      Some (!best, !best_assignment, result)
     in
     Ccs_obs.Span.with_ "bnb.solve"
       ~fields:[ Ccs_obs.Log.int "n" n; Ccs_obs.Log.int "m" m ]
       (fun () ->
         match go 0 0 with
-        | () -> finish (Some (!best, !best_assignment))
+        | () -> finish Complete
         | exception Limit ->
             Ccs_obs.Metrics.incr m_limit_hits;
-            finish None)
+            finish Node_limit
+        | exception (Ccs_resil.Deadline.Cancelled _ as e) -> finish (Interrupted e))
   end
+
+let solve ?node_limit inst =
+  match solve_status ?node_limit inst with
+  | None -> None
+  | Some (mk, a, Complete) -> Some (mk, a)
+  | Some (_, _, Node_limit) -> None
+  | Some (_, _, Interrupted e) -> raise e
 
 let brute_force inst =
   let n = Ccs.Instance.n inst in

@@ -8,8 +8,23 @@
 (** [solve ?node_limit inst] returns the optimal makespan and an optimal
     assignment, or [None] if the node limit was exhausted before the search
     completed (the incumbent may then not be optimal) or the instance is
-    unschedulable. *)
+    unschedulable. Re-raises {!Ccs_resil.Deadline.Cancelled} if the ambient
+    deadline expires mid-search; use {!solve_status} to recover the
+    incumbent instead. *)
 val solve : ?node_limit:int -> Ccs.Instance.t -> (int * Ccs.Schedule.nonpreemptive) option
+
+(** How far a search got. The search warm-starts from the 7/3
+    approximation, so a valid incumbent exists from the first node on. *)
+type status =
+  | Complete  (** incumbent is optimal *)
+  | Node_limit  (** budget exhausted; incumbent is the best found *)
+  | Interrupted of exn  (** ambient deadline cancelled the search *)
+
+(** Anytime variant: always returns the best incumbent together with its
+    status ([None] only for unschedulable instances). Never raises on
+    cancellation — the degradation ladder consumes the incumbent. *)
+val solve_status :
+  ?node_limit:int -> Ccs.Instance.t -> (int * Ccs.Schedule.nonpreemptive * status) option
 
 (** Exhaustive reference (every assignment, no pruning) for cross-checking
     the pruned search on tiny instances. *)

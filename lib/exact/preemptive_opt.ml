@@ -1,6 +1,10 @@
 module Q = Rat
 module I = Ccs.Instance
 
+(* One checkpoint per Birkhoff matching slice; the MILP phase is covered
+   by the lp.pivot / ilp.node checkpoints inside [Ilp.solve]. *)
+let chk_realize = Ccs_resil.Deadline.site "exact.realize"
+
 (* ---- phase 1: the MILP for the optimal amount matrix ---- *)
 
 let build inst =
@@ -110,6 +114,7 @@ let realize inst m amounts t =
   let remaining = ref t in
   let guard = ref (size * size * 4) in
   while Q.sign !remaining > 0 do
+    Ccs_resil.Deadline.check chk_realize;
     decr guard;
     if !guard < 0 then failwith "Preemptive_opt.realize: decomposition did not converge";
     let g = Flow.create (2 * size + 2) in

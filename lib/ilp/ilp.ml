@@ -10,6 +10,10 @@ type result =
 
 let all_integer lp = { lp; integer = Array.make lp.Lp.nvars true }
 
+(* Checked once per B&B node, before the node's LP relaxation is solved;
+   each node also runs many lp.pivot checkpoints inside [Lp.solve]. *)
+let chk_node = Ccs_resil.Deadline.site "ilp.node"
+
 let m_solves = Ccs_obs.Metrics.counter "ilp.solves"
 let m_nodes = Ccs_obs.Metrics.counter "ilp.nodes"
 let m_prunes = Ccs_obs.Metrics.counter "ilp.prunes_bound"
@@ -51,6 +55,7 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) ?warm ?basis_out p =
   let rec search lower upper warm =
     if !limit_hit then ()
     else begin
+      Ccs_resil.Deadline.check chk_node;
       incr nodes;
       if !nodes > max_nodes then limit_hit := true
       else begin
@@ -98,6 +103,8 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) ?warm ?basis_out p =
     end
   in
   let result =
+    (* cover the root relaxation too — it is as expensive as any node's *)
+    Ccs_resil.Deadline.check chk_node;
     match Lp.solve ?warm p.lp with
     | Lp.Unbounded _ -> Unbounded
     | Lp.Infeasible _ -> Infeasible

@@ -1,5 +1,13 @@
 module Q = Rat
 
+(* Cooperative cancellation: one checkpoint per simplex iteration (pricing
+   pass or repair pivot). Cancellation unwinds before the pivot mutates the
+   eta file, so an exported basis is never half-updated. *)
+(* Not a hot site: a revised-simplex pivot does O(m^2) exact-rational work,
+   so a clock read per pivot is noise — and amortizing it left the solver
+   blind for up to 63 pivots, seconds on bases with blown-up numerators. *)
+let chk_pivot = Ccs_resil.Deadline.site "lp.pivot"
+
 type cmp = Le | Ge | Eq
 
 type constr = { coeffs : (int * Q.t) list; cmp : cmp; rhs : Q.t }
@@ -419,6 +427,7 @@ let phase1_value core =
 let run_phase core ~stop_at_feasible =
   let iters0 = core.iters in
   let rec loop () =
+    Ccs_resil.Deadline.check chk_pivot;
     core.iters <- core.iters + 1;
     if (not core.bland_mode) && core.degen_streak >= core.bland_after then begin
       core.bland_mode <- true;
@@ -716,6 +725,7 @@ let dual_feasible core =
 let dual_repair core =
   let max_iters = 100 + (20 * core.m) in
   let rec loop iters =
+    Ccs_resil.Deadline.check chk_pivot;
     if iters > max_iters then `Stalled
     else begin
       (* most negative choice would be faster on average; smallest basic

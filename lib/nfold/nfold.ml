@@ -13,6 +13,12 @@ type t = {
 }
 
 exception Invalid of string
+
+(* Cancellation checkpoints: the kernel-candidate DFS is the hot inner
+   loop (amortized clock), one augmentation step of the Graver walk is the
+   coarse outer one (clock every time). *)
+let chk_kernel = Ccs_resil.Deadline.site ~hot:true "nfold.kernel"
+let chk_augment = Ccs_resil.Deadline.site "nfold.augment"
 exception Too_large of string
 
 let m_aug_steps = Ccs_obs.Metrics.counter "nfold.augmentation_steps"
@@ -181,6 +187,7 @@ let brick_candidates ~bmat ~s ~t ~norm ~lo ~hi =
   let g = Array.make t 0 in
   let partial = Array.make s 0 in
   let rec go j =
+    Ccs_resil.Deadline.check chk_kernel;
     if j = t then begin
       if Array.for_all (fun v -> v = 0) partial then begin
         incr count;
@@ -294,6 +301,7 @@ let optimize ?(max_norm = 2) p x0 =
   @@ fun () ->
   let improved = ref true in
   while !improved do
+    Ccs_resil.Deadline.check chk_augment;
     improved := false;
     (* Graver-best step over powers of two for lambda. *)
     let best = ref None in

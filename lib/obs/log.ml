@@ -54,8 +54,8 @@ let set_output f = out := f
    one lock around the write keeps lines whole instead of interleaved. *)
 let out_mu = Mutex.create ()
 
-let start_time = Unix.gettimeofday ()
-let elapsed () = Unix.gettimeofday () -. start_time
+let start_time = Ccs_util.Mono.now_s ()
+let elapsed () = Ccs_util.Mono.now_s () -. start_time
 
 let value_to_string = function
   | Int i -> string_of_int i

@@ -1,3 +1,5 @@
+module Mono = Ccs_util.Mono
+
 type t = {
   sname : string;
   sfields : Log.field list;
@@ -37,7 +39,7 @@ let reset () =
 let set_enabled b =
   if b then begin
     reset ();
-    epoch := Unix.gettimeofday ()
+    epoch := Mono.now_s ()
   end;
   on := b
 
@@ -52,14 +54,14 @@ let with_ sname ?(fields = []) f =
         sname;
         sfields = fields;
         stid = (Domain.self () :> int);
-        sstart = Unix.gettimeofday () -. !epoch;
+        sstart = Mono.now_s () -. !epoch;
         sdur = 0.0;
         rev_children = [];
       }
     in
     stack := sp :: !stack;
     let finish () =
-      sp.sdur <- Unix.gettimeofday () -. !epoch -. sp.sstart;
+      sp.sdur <- Mono.now_s () -. !epoch -. sp.sstart;
       (match !stack with
       | top :: rest when top == sp -> stack := rest
       | _ ->
@@ -85,6 +87,11 @@ let with_ sname ?(fields = []) f =
     in
     Fun.protect ~finally:finish f
   end
+
+(* Open spans on the calling domain — zero whenever the program is outside
+   every [with_]; the resilience tests assert this after interrupting a
+   solver at an arbitrary checkpoint, proving cancellation unwinds spans. *)
+let open_depth () = List.length !(Domain.DLS.get stack_key)
 
 let roots () =
   Mutex.lock mu;

@@ -54,3 +54,8 @@ val write_chrome_trace : string -> unit
 
 (** Total number of completed spans in the current trace. *)
 val count : unit -> int
+
+(** Number of spans currently open on the calling domain. Zero outside
+    every [with_] — including right after a {!Ccs_resil.Deadline.Cancelled}
+    unwound a solver, which is what the resilience tests assert. *)
+val open_depth : unit -> int

@@ -13,6 +13,13 @@
 let m_batches = Ccs_obs.Metrics.counter "par.batches"
 let m_tasks = Ccs_obs.Metrics.counter "par.tasks"
 
+module Deadline = Ccs_resil.Deadline
+
+(* One cancellation checkpoint per batch task, taken inside the task's own
+   exception scope so a cancelled task reports like any other failure and
+   the batch bookkeeping (the [remaining] countdown) always completes. *)
+let chk_task = Deadline.site "par.task"
+
 (* Cores the machine actually has. A pool larger than this only adds GC
    coordination and scheduler thrash (domains are not hyperthreads), so
    batches never hand work to more than [available_cores] domains — on a
@@ -24,6 +31,7 @@ let available_cores = max 1 (Domain.recommended_domain_count ())
 module Pool = struct
   type t = {
     psize : int;
+    nworkers : int;  (* domains actually spawned; see [create] *)
     queue : (unit -> unit) Queue.t;
     mu : Mutex.t;
     work : Condition.t;
@@ -32,6 +40,7 @@ module Pool = struct
   }
 
   let size t = t.psize
+  let workers t = t.nworkers
 
   (* Helper tasks terminate on their own (the batch cursor runs dry), so a
      worker loop only has to wait for work or for shutdown. *)
@@ -48,11 +57,18 @@ module Pool = struct
       worker pool
     end
 
-  let create ~jobs =
+  let create ?(force = false) ~jobs () =
     if jobs < 1 then invalid_arg "Ccs_par.Pool.create: jobs must be >= 1";
+    (* Spawn only workers that [run_batch] can ever hand work to (see
+       [available_cores]): an idle surplus domain still costs a backup
+       thread in every stop-the-world minor collection, which on a small
+       machine is pure drag. [force] spawns [jobs - 1] workers regardless —
+       concurrency tests need real contention even on a single core. *)
+    let nworkers = if force then jobs - 1 else min jobs available_cores - 1 in
     let pool =
       {
         psize = jobs;
+        nworkers;
         queue = Queue.create ();
         mu = Mutex.create ();
         work = Condition.create ();
@@ -60,12 +76,7 @@ module Pool = struct
         domains = [];
       }
     in
-    (* Spawn only workers that [run_batch] can ever hand work to (see
-       [available_cores]): an idle surplus domain still costs a backup
-       thread in every stop-the-world minor collection, which on a small
-       machine is pure drag. *)
-    pool.domains <-
-      List.init (min jobs available_cores - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool.domains <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker pool));
     pool
 
   let submit pool task =
@@ -85,7 +96,7 @@ end
 
 (* ---------------- ambient pool ---------------- *)
 
-let sequential = lazy (Pool.create ~jobs:1)
+let sequential = lazy (Pool.create ~jobs:1 ())
 let ambient_pool : Pool.t option ref = ref None
 
 let ambient () =
@@ -97,7 +108,7 @@ let effective_jobs () = min (jobs ()) available_cores
 let set_jobs n =
   if n < 1 then invalid_arg "Ccs_par.set_jobs: jobs must be >= 1";
   (match !ambient_pool with Some p -> Pool.shutdown p | None -> ());
-  ambient_pool := (if n = 1 then None else Some (Pool.create ~jobs:n))
+  ambient_pool := (if n = 1 then None else Some (Pool.create ~jobs:n ()))
 
 (* Joining the workers at exit keeps domain teardown orderly even when the
    CLI exits from the middle of a parallel phase. *)
@@ -110,6 +121,10 @@ let () = at_exit (fun () -> match !ambient_pool with Some p -> Pool.shutdown p |
 let run_batch pool n step =
   Ccs_obs.Metrics.incr m_batches;
   Ccs_obs.Metrics.add m_tasks n;
+  (* Helpers run on other domains, whose ambient deadline token is not the
+     submitter's: re-install it around the helper's drain so a --deadline
+     reaches every task of the batch wherever it executes. *)
+  let tok = Deadline.ambient () in
   let next = Atomic.make 0 in
   let remaining = Atomic.make n in
   let mu = Mutex.create () in
@@ -126,8 +141,8 @@ let run_batch pool n step =
       drain ()
     end
   in
-  for _ = 2 to min (min (Pool.size pool) available_cores) n do
-    Pool.submit pool drain
+  for _ = 1 to min (Pool.workers pool) (n - 1) do
+    Pool.submit pool (fun () -> Deadline.with_token tok drain)
   done;
   drain ();
   Mutex.lock mu;
@@ -146,7 +161,10 @@ let parallel_mapi ?pool f arr =
     let results = Array.make n None in
     let errors = Array.make n None in
     run_batch pool n (fun i ->
-        match f i arr.(i) with
+        match
+          Deadline.check chk_task;
+          f i arr.(i)
+        with
         | r -> results.(i) <- Some r
         | exception e -> errors.(i) <- Some e);
     Array.iter (function Some e -> raise e | None -> ()) errors;
@@ -177,16 +195,38 @@ let parallel_find_firsti ?pool f arr =
       let c = Atomic.get cut in
       if i < c && not (Atomic.compare_and_set cut c i) then lower i
     in
+    (* Prompt shutdown: every task runs under its own child token, and an
+       event at index i kills the tokens of in-flight tasks above the cut,
+       whose next checkpoint then unwinds them. [cut] only ever decreases,
+       so a killed index is strictly above the final winner and its outcome
+       could never reach the sequential answer — the kill changes wall
+       clock, not results. A [Killed] cancellation is therefore swallowed
+       (no event) unless the parent token itself is cancelled, in which
+       case it is the real deadline and propagates like any exception. *)
+    let parent = Deadline.ambient () in
+    let tokens = Array.init n (fun _ -> Deadline.child parent) in
+    let kill_above c =
+      for j = c + 1 to n - 1 do
+        Deadline.kill tokens.(j)
+      done
+    in
+    let event i ev =
+      outcome.(i) <- ev;
+      lower i;
+      kill_above (Atomic.get cut)
+    in
     run_batch pool n (fun i ->
         if i < Atomic.get cut then
-          match f i arr.(i) with
-          | Some v ->
-              outcome.(i) <- `Found v;
-              lower i
+          match
+            Deadline.with_token tokens.(i) (fun () ->
+                Deadline.check chk_task;
+                f i arr.(i))
+          with
+          | Some v -> event i (`Found v)
           | None -> ()
-          | exception e ->
-              outcome.(i) <- `Exn e;
-              lower i);
+          | exception (Deadline.Cancelled { reason = Deadline.Killed; _ } as e) ->
+              if Deadline.cancelled parent then event i (`Exn e)
+          | exception e -> event i (`Exn e));
     let w = Atomic.get cut in
     if w >= n then None
     else

@@ -21,13 +21,20 @@
 module Pool : sig
   type t
 
-  (** [create ~jobs] spawns [jobs - 1] worker domains; the caller of each
-      combinator acts as the [jobs]-th worker. [jobs = 1] spawns nothing
-      and makes every combinator run strictly sequentially. Raises
-      [Invalid_argument] if [jobs < 1]. *)
-  val create : jobs:int -> t
+  (** [create ~jobs ()] spawns [jobs - 1] worker domains (capped by
+      [Domain.recommended_domain_count] unless [force] is set; see below);
+      the caller of each combinator acts as the [jobs]-th worker.
+      [jobs = 1] spawns nothing and makes every combinator run strictly
+      sequentially. [force] spawns [jobs - 1] domains even beyond the core
+      count — oversubscription buys nothing for throughput, but
+      cancellation tests need genuinely concurrent tasks on single-core
+      machines. Raises [Invalid_argument] if [jobs < 1]. *)
+  val create : ?force:bool -> jobs:int -> unit -> t
 
   val size : t -> int
+
+  (** Worker domains actually spawned (<= [size] - 1). *)
+  val workers : t -> int
 
   (** Joins the worker domains. Idempotent; combinators must not be
       called on a pool after shutdown. *)
@@ -78,7 +85,10 @@ val parallel_mapi : ?pool:Pool.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
     of the sequential left-to-right scan, including which exception (if
     any) escapes: an element's outcome is only reported once every earlier
     element has evaluated to [None]. Elements beyond the winner are
-    skipped opportunistically. *)
+    skipped opportunistically, and in-flight elements above the winning
+    index are cancelled through their {!Ccs_resil.Deadline} child tokens —
+    a poisoned (raising or cancelled) task never serializes the batch by
+    letting its siblings run to completion. *)
 val parallel_find_first : ?pool:Pool.t -> ('a -> 'b option) -> 'a array -> 'b option
 
 val parallel_find_firsti : ?pool:Pool.t -> (int -> 'a -> 'b option) -> 'a array -> 'b option

@@ -1,0 +1,105 @@
+module Mono = Ccs_util.Mono
+
+type t = {
+  dlimit_ns : int;  (* max_int = no deadline *)
+  killed : bool Atomic.t;
+  (* cached "this token is cancelled" so that after the first slow-path
+     detection every subsequent check raises without reading the clock *)
+  tripped : bool Atomic.t;
+  parent : t option;
+}
+
+type reason = Expired | Killed | Fault
+
+exception Cancelled of { site : string; reason : reason }
+
+let make ?parent dlimit_ns =
+  { dlimit_ns; killed = Atomic.make false; tripped = Atomic.make false; parent }
+
+let never = make max_int
+let of_budget_ms ms = make (Mono.now_ns () + Mono.ns_of_ms ms)
+let of_limit_ns limit = make limit
+let limit_ns t = if t.dlimit_ns = max_int then None else Some t.dlimit_ns
+
+let remaining_ns t =
+  if t.dlimit_ns = max_int then None else Some (t.dlimit_ns - Mono.now_ns ())
+
+let expired t = t.dlimit_ns <> max_int && Mono.now_ns () >= t.dlimit_ns
+let kill t = if t != never then Atomic.set t.killed true
+
+let child t =
+  { dlimit_ns = t.dlimit_ns;
+    killed = Atomic.make false;
+    tripped = Atomic.make false;
+    parent = (if t == never then None else Some t) }
+
+let rec is_killed t =
+  Atomic.get t.killed || match t.parent with Some p -> is_killed p | None -> false
+
+let cancelled t = Atomic.get t.tripped || is_killed t || expired t
+
+(* ---------------- ambient token ---------------- *)
+
+let ambient_key : t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref never)
+let ambient () = !(Domain.DLS.get ambient_key)
+
+let with_token tok f =
+  let cell = Domain.DLS.get ambient_key in
+  let saved = !cell in
+  cell := tok;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* ---------------- checkpoints ---------------- *)
+
+type site = { sname : string; hot : bool }
+
+let site ?(hot = false) sname = { sname; hot }
+
+let m_checks = Ccs_obs.Metrics.counter "resil.cancel_checks"
+
+(* The count is exact (one atomic fetch-add per check, still allocation
+   free) rather than amortized: the bench gate compares it across commits,
+   and an amortized count would depend on the flush phase at snapshot
+   time. [pushed] tracks how much of it has been forwarded to the metrics
+   registry, which takes a mutex and is therefore only touched in
+   [flush_stats]. *)
+let checks = Atomic.make 0
+let pushed = Atomic.make 0
+
+(* Per-domain tick for amortizing clock reads at hot sites. *)
+let tick_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let checks_total () = Atomic.get checks
+
+let flush_stats () =
+  let tot = Atomic.get checks in
+  let prev = Atomic.exchange pushed tot in
+  if tot > prev then Ccs_obs.Metrics.add m_checks (tot - prev)
+
+let reset_stats () =
+  Atomic.set checks 0;
+  Atomic.set pushed 0
+
+let trip tok reason site =
+  if tok != never then Atomic.set tok.tripped true;
+  raise (Cancelled { site = site.sname; reason })
+
+let check site =
+  Atomic.incr checks;
+  let tok = ambient () in
+  (if Faults.armed () then
+     match Faults.decide site.sname with
+     | `Nothing -> ()
+     | `Cancel -> trip tok Fault site);
+  if tok != never then begin
+    if Atomic.get tok.tripped then raise (Cancelled { site = site.sname; reason = Expired });
+    if is_killed tok then trip tok Killed site;
+    let read_clock =
+      (not site.hot)
+      ||
+      let tick = Domain.DLS.get tick_key in
+      incr tick;
+      !tick land 63 = 0
+    in
+    if read_clock && expired tok then trip tok Expired site
+  end

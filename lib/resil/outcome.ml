@@ -1,0 +1,19 @@
+(* The shape every deadline-aware entry point returns: either the solver
+   finished what was asked, or it degraded and reports exactly how far it
+   got. [Degraded] is a successful return — the incumbent (when present)
+   is a validated schedule and [lower_bound] is certified, so
+   [ratio_bound] (incumbent makespan / lower bound, when both exist) is a
+   sound a-posteriori approximation guarantee. *)
+
+type 'a degraded = {
+  incumbent : 'a option;  (* best validated schedule produced before the cut *)
+  lower_bound : Rat.t;  (* certified lower bound on OPT for the regime *)
+  ratio_bound : Rat.t option;  (* makespan(incumbent) / lower_bound *)
+  phase_reached : string;  (* ladder rung / phase that produced the incumbent *)
+}
+
+type 'a t = Complete of 'a | Degraded of 'a degraded
+
+let map f = function
+  | Complete x -> Complete (f x)
+  | Degraded d -> Degraded { d with incumbent = Option.map f d.incumbent }

@@ -1,0 +1,26 @@
+/* Monotonic clock for deadlines and span timing.
+
+   CLOCK_MONOTONIC never goes backwards under NTP slews or manual clock
+   adjustment, which is the whole point: a deadline armed for 50ms must
+   fire in ~50ms of real time no matter what the wall clock does.
+
+   The reading is returned as an OCaml immediate int of nanoseconds. A
+   63-bit int holds ~146 years of nanoseconds, so overflow is not a
+   practical concern, and [@@noalloc] keeps the fast path free of any
+   allocation — it is called from amortized cancellation checkpoints
+   inside simplex pivot loops. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value ccs_mono_now_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

@@ -8,7 +8,7 @@ module Par = Ccs_par
 module Prng = Ccs_util.Prng
 
 let with_pool jobs f =
-  let pool = Par.Pool.create ~jobs in
+  let pool = Par.Pool.create ~jobs () in
   Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
 
 let with_ambient jobs f =

@@ -217,7 +217,7 @@ let test_common_multisets () =
 let test_geometric_search () =
   let oracle t = if Q.(t >= Q.of_int 10) then Some (Q.to_string t) else None in
   let _, accepted =
-    C.geometric_search ~lb:Q.one ~ub:(Q.of_int 100) ~delta:(Q.of_ints 1 2) ~oracle
+    C.geometric_search ~lb:Q.one ~ub:(Q.of_int 100) ~delta:(Q.of_ints 1 2) ~oracle ()
   in
   Alcotest.(check bool) "within one grid step" true
     Q.(accepted >= Q.of_int 10 && accepted <= Q.of_int 15)
