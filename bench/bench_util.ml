@@ -20,6 +20,11 @@ let instance ~seed ~family ~n ~classes ~machines ~slots ~p_hi =
   Ccs.Generator.generate ~seed
     { Ccs.Generator.n; classes; machines; slots; p_lo = 1; p_hi; family }
 
+(* Every measured float written to a JSON artifact goes through this: 9
+   significant digits is far below clock resolution but drops the trailing
+   binary noise that made regenerated BENCH_timing.json diffs unreadable. *)
+let round9 = Ccs_obs.Jsonx.round_sig 9
+
 let f2 x = Printf.sprintf "%.2f" x
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

@@ -1,222 +1,53 @@
-(* Bench regression gate: time a small fixed sweep of solver phases and
-   compare against the committed BENCH_baseline.json.
+(* Bench regression gate front-end (the measurement and threshold logic
+   lives in Gate, shared with bin/ccs_report --check):
 
      dune exec bench/check_regression.exe              # compare, exit 1 on regression
-     dune exec bench/check_regression.exe -- --update  # rewrite the baseline
-
-   Each phase is timed as the minimum wall clock over a few repetitions
-   (minimum, not mean: noise only adds time). Raw walls are not comparable
-   across machines, so the baseline also records a fixed pure-OCaml
-   calibration workload; at comparison time every baseline wall is scaled
-   by calibration_now / calibration_baseline, which cancels machine speed
-   to first order. A phase regresses when its scaled wall exceeds
-   baseline * (1 + tolerance); the tolerance defaults to 0.25 and can be
-   widened for noisy runners via CCS_BENCH_TOLERANCE (e.g.
-   CCS_BENCH_TOLERANCE=1.5 on shared CI machines). *)
-
-module J = Ccs_obs.Jsonx
-
-let baseline_path = "BENCH_baseline.json"
-let reps = 5
-
-let tolerance =
-  match Sys.getenv_opt "CCS_BENCH_TOLERANCE" with
-  | None -> 0.25
-  | Some s -> (
-      match float_of_string_opt s with
-      | Some t when t > 0.0 -> t
-      | _ ->
-          Printf.eprintf "bad CCS_BENCH_TOLERANCE %S (want a positive float)\n" s;
-          exit 2)
-
-let instance ~seed ~n ~classes ~machines ~slots =
-  Ccs.Generator.generate ~seed
-    { Ccs.Generator.n; classes; machines; slots; p_lo = 1; p_hi = 1000;
-      family = Ccs.Generator.Uniform }
-
-(* The E5 shape, sized so every phase takes a few milliseconds at least —
-   sub-millisecond phases would drown a 25% gate in scheduler noise — while
-   the whole gate still runs in seconds. The approximation algorithms repeat
-   their solve inside the phase for the same reason. *)
-let phases =
-  let approx = instance ~seed:(400 * 7919) ~n:4000 ~classes:800 ~machines:400 ~slots:3 in
-  let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
-  let param = Ccs.Ptas.Common.param 1 in
-  let times k f () = for _ = 1 to k do f () done in
-  [ ("approx_splittable", times 10 (fun () -> ignore (Ccs.Approx.Splittable.solve approx)));
-    ("approx_preemptive", times 10 (fun () -> ignore (Ccs.Approx.Preemptive.solve approx)));
-    ("approx_nonpreemptive",
-     times 10 (fun () -> ignore (Ccs.Approx.Nonpreemptive.solve approx)));
-    (* the warm-started simplex left a single PTAS solve sub-millisecond,
-       so these repeat enough to stay a few ms above scheduler noise *)
-    ("ptas_splittable",
-     times 20 (fun () -> ignore (Ccs.Ptas.Splittable_ptas.solve param small)));
-    ("ptas_nonpreemptive",
-     times 50 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
-  ]
-
-let time_phase f =
-  let best = ref infinity in
-  for _ = 1 to reps do
-    let t0 = Ccs_util.Mono.now_s () in
-    f ();
-    best := min !best (Ccs_util.Mono.now_s () -. t0)
-  done;
-  !best
-
-(* A workload touching the same machinery the solvers lean on (rational
-   arithmetic, hence allocation and bigint work) but independent of any
-   code under test, used to cancel out raw machine speed. *)
-let calibrate () =
-  time_phase (fun () ->
-      (* overwritten every iteration so numerators stay small — a running
-         sum would grow its denominator without bound *)
-      let acc = ref Rat.zero in
-      for i = 1 to 200_000 do
-        let x = Rat.of_ints (1 + (i mod 97)) (1 + (i mod 89)) in
-        let y = Rat.of_ints (1 + (i mod 83)) (1 + (i mod 79)) in
-        acc := Rat.add (Rat.mul x y) (Rat.div x y)
-      done;
-      ignore !acc)
-
-let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
-
-(* Deterministic solver-effort counters over a fixed PTAS workload. Unlike
-   walls these are exact and machine-independent, so they are compared
-   unscaled: lp.phase1_iterations guards the simplex crash-basis/warm-start
-   machinery (a cold-start regression shows up here long before it moves a
-   noisy wall), and rat.promotions guards the small-int fast path (a single
-   careless magnitude blow-up sends the hot numbers to the Bigint arm). *)
-let counter_names = [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks" ]
-
-let measure_counters () =
-  let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
-  let param = Ccs.Ptas.Common.param 1 in
-  Ccs_obs.Metrics.reset ();
-  Ccs_resil.Deadline.reset_stats ();
-  ignore (Ccs.Ptas.Splittable_ptas.solve param small);
-  ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small);
-  (* the exact checkpoint count guards the cancellation layer's overhead:
-     a new checkpoint in a hot loop moves this long before it moves a wall *)
-  Ccs_resil.Deadline.flush_stats ();
-  let snap = Ccs_obs.Metrics.snapshot ~all:true () in
-  List.map
-    (fun name ->
-      match Option.bind (List.assoc_opt name snap) (function
-        | J.Int i -> Some i
-        | _ -> None) with
-      | Some v -> (name, v)
-      | None ->
-          Printf.eprintf "counter %S missing from the metrics registry\n" name;
-          exit 2)
-    counter_names
+     dune exec bench/check_regression.exe -- --update  # rewrite the baseline *)
 
 let write_baseline () =
-  let cal = calibrate () in
-  let walls = measure () in
-  let counters = measure_counters () in
-  let json =
-    J.Obj
-      [ ("calibration_s", J.Float cal);
-        ("phases", J.Obj (List.map (fun (n, w) -> (n, J.Float w)) walls));
-        ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) counters)) ]
-  in
-  Out_channel.with_open_text baseline_path (fun oc ->
-      Out_channel.output_string oc (J.to_string json);
-      Out_channel.output_char oc '\n');
-  Printf.printf "wrote %s (%d phases, calibration %.4fs)\n" baseline_path
-    (List.length walls) cal
-
-let number = function
-  | J.Float w -> Some w
-  | J.Int w -> Some (float_of_int w)
-  | _ -> None
-
-let read_baseline () =
-  if not (Sys.file_exists baseline_path) then begin
-    Printf.eprintf "no %s — run with --update to create it\n" baseline_path;
-    exit 2
-  end;
-  let text = In_channel.with_open_text baseline_path In_channel.input_all in
-  match J.of_string text with
-  | Error e ->
-      Printf.eprintf "%s: parse error: %s\n" baseline_path e;
-      exit 2
-  | Ok json -> (
-      let cal =
-        match Option.bind (J.member "calibration_s" json) number with
-        | Some c when c > 0.0 -> c
-        | _ ->
-            Printf.eprintf "%s: missing \"calibration_s\"\n" baseline_path;
-            exit 2
-      in
-      let counters =
-        (* absent in baselines written before the counter gate existed *)
-        match J.member "counters" json with
-        | Some (J.Obj kvs) ->
-            List.filter_map
-              (fun (k, v) -> match v with J.Int i -> Some (k, i) | _ -> None)
-              kvs
-        | _ -> []
-      in
-      match J.member "phases" json with
-      | Some (J.Obj kvs) ->
-          ( cal,
-            List.filter_map (fun (k, v) -> Option.map (fun w -> (k, w)) (number v)) kvs,
-            counters )
-      | _ ->
-          Printf.eprintf "%s: missing \"phases\" object\n" baseline_path;
-          exit 2)
+  let cal, n_phases = Gate.write_baseline Gate.default_baseline_path in
+  Printf.printf "wrote %s (%d phases, calibration %.4fs)\n" Gate.default_baseline_path
+    n_phases cal
 
 let compare_runs () =
-  let base_cal, base, base_counters = read_baseline () in
-  let cal = calibrate () in
-  let scale = cal /. base_cal in
-  let current = measure () in
-  let current_counters = measure_counters () in
-  let regressed = ref [] in
-  Printf.printf "machine speed vs baseline: %.2fx (calibration %.4fs vs %.4fs)\n" scale cal
-    base_cal;
-  Printf.printf "%-22s %12s %12s %9s\n" "phase" "expected" "current" "delta";
-  List.iter
-    (fun (name, wall) ->
-      match List.assoc_opt name base with
-      | None -> Printf.printf "%-22s %12s %10.4fs %9s\n" name "(new)" wall "-"
-      | Some b ->
-          let expected = b *. scale in
-          let delta = (wall -. expected) /. expected in
-          let flag = if delta > tolerance then " REGRESSED" else "" in
-          if delta > tolerance then regressed := name :: !regressed;
-          Printf.printf "%-22s %10.4fs %10.4fs %+8.1f%%%s\n" name expected wall
-            (100.0 *. delta) flag)
-    current;
-  List.iter
-    (fun (name, _) ->
-      if not (List.mem_assoc name current) then
-        Printf.printf "%-22s (phase no longer measured)\n" name)
-    base;
-  (* counters are exact: no machine-speed scaling, same relative tolerance *)
-  List.iter
-    (fun (name, v) ->
-      match List.assoc_opt name base_counters with
-      | None -> Printf.printf "%-22s %12s %12d %9s\n" name "(new)" v "-"
-      | Some b ->
-          let delta =
-            if b = 0 then if v = 0 then 0.0 else infinity
-            else float_of_int (v - b) /. float_of_int b
-          in
-          let flag = if delta > tolerance then " REGRESSED" else "" in
-          if delta > tolerance then regressed := name :: !regressed;
-          Printf.printf "%-22s %12d %12d %+8.1f%%%s\n" name b v (100.0 *. delta) flag)
-    current_counters;
-  if !regressed = [] then
-    Printf.printf "ok: no phase regressed by more than %.0f%%\n" (100.0 *. tolerance)
-  else begin
-    Printf.printf "FAIL: %d phase(s) regressed by more than %.0f%%: %s\n"
-      (List.length !regressed) (100.0 *. tolerance)
-      (String.concat ", " (List.rev !regressed));
-    exit 1
-  end
+  match Gate.compare_to_baseline () with
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  | Ok cmp ->
+      Printf.printf "machine speed vs baseline: %.2fx (calibration %.4fs vs %.4fs)\n"
+        cmp.Gate.scale cmp.Gate.calibration_s cmp.Gate.base_calibration_s;
+      Printf.printf "%-22s %12s %12s %9s\n" "phase" "expected" "current" "delta";
+      List.iter
+        (fun (r : Gate.wall_row) ->
+          match (r.expected_s, r.delta) with
+          | Some expected, Some delta ->
+              Printf.printf "%-22s %10.4fs %10.4fs %+8.1f%%%s\n" r.name expected
+                r.current_s (100.0 *. delta)
+                (if r.regressed then " REGRESSED" else "")
+          | _ -> Printf.printf "%-22s %12s %10.4fs %9s\n" r.name "(new)" r.current_s "-")
+        cmp.Gate.wall_rows;
+      List.iter
+        (fun name -> Printf.printf "%-22s (phase no longer measured)\n" name)
+        cmp.Gate.dropped_phases;
+      List.iter
+        (fun (r : Gate.counter_row) ->
+          match (r.expected, r.cdelta) with
+          | Some b, Some delta ->
+              Printf.printf "%-22s %12d %12d %+8.1f%%%s\n" r.cname b r.current
+                (100.0 *. delta)
+                (if r.cregressed then " REGRESSED" else "")
+          | _ -> Printf.printf "%-22s %12s %12d %9s\n" r.cname "(new)" r.current "-")
+        cmp.Gate.counter_rows;
+      let regressed = Gate.regressions cmp in
+      if regressed = [] then
+        Printf.printf "ok: no phase regressed by more than %.0f%%\n" (100.0 *. cmp.Gate.tol)
+      else begin
+        Printf.printf "FAIL: %d phase(s) regressed by more than %.0f%%: %s\n"
+          (List.length regressed) (100.0 *. cmp.Gate.tol)
+          (String.concat ", " regressed);
+        exit 1
+      end
 
 let () =
   match Array.to_list Sys.argv with

@@ -92,7 +92,7 @@ and write_timing_json () =
         ("n", J.Int n);
         ("m", J.Int (Ccs.Instance.m inst));
         ("classes", J.Int (Ccs.Instance.num_classes inst));
-        ("wall_s", J.Float wall);
+        ("wall_s", J.Float (U.round9 wall));
         ("counters", J.Obj counters) ]
   in
   let approx_rows =
@@ -146,9 +146,9 @@ and write_timing_json () =
     J.Obj
       [ ("tasks", J.Int (Array.length sweep_tasks));
         ("cores", J.Int cores);
-        ("wall_s_jobs1", J.Float wall_j1);
-        ("wall_s_jobs4", J.Float wall_j4);
-        ("speedup_jobs4", J.Float speedup) ]
+        ("wall_s_jobs1", J.Float (U.round9 wall_j1));
+        ("wall_s_jobs4", J.Float (U.round9 wall_j4));
+        ("speedup_jobs4", J.Float (U.round9 speedup)) ]
   in
   (* Resilience sweep: the degradation ladder on E5-style instances under a
      deadline far below the exact rung's runtime. Every run must come back
@@ -212,9 +212,9 @@ and write_timing_json () =
         ("runs", J.Int !runs);
         ("degraded", J.Int !degraded);
         ("invalid_outcomes", J.Int !invalid);
-        ("overshoot_ms_p50", J.Float (pct 0.50));
-        ("overshoot_ms_p99", J.Float (pct 0.99));
-        ("overshoot_ms_max", J.Float (pct 1.0)) ]
+        ("overshoot_ms_p50", J.Float (U.round9 (pct 0.50)));
+        ("overshoot_ms_p99", J.Float (U.round9 (pct 0.99)));
+        ("overshoot_ms_max", J.Float (U.round9 (pct 1.0))) ]
   in
   let path = "BENCH_timing.json" in
   U.write_json path

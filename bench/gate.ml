@@ -1,0 +1,256 @@
+(* Measurement and threshold logic for the bench regression gate, shared
+   by its two front-ends: bench/check_regression.exe (the CI gate, plain
+   text, exit code) and bin/ccs_report --check (markdown trend reports).
+   Keeping it in one module means the calibrated workloads, the counter
+   list and the tolerance rule exist in exactly one place.
+
+   Each phase is timed as the minimum wall clock over a few repetitions
+   (minimum, not mean: noise only adds time). Raw walls are not comparable
+   across machines, so the baseline also records a fixed pure-OCaml
+   calibration workload; at comparison time every baseline wall is scaled
+   by calibration_now / calibration_baseline, which cancels machine speed
+   to first order. A phase regresses when its scaled wall exceeds
+   baseline * (1 + tolerance); the tolerance defaults to 0.25 and can be
+   widened for noisy runners via CCS_BENCH_TOLERANCE (e.g.
+   CCS_BENCH_TOLERANCE=1.5 on shared CI machines). *)
+
+module J = Ccs_obs.Jsonx
+
+let default_baseline_path = "BENCH_baseline.json"
+let reps = 5
+
+let tolerance =
+  match Sys.getenv_opt "CCS_BENCH_TOLERANCE" with
+  | None -> 0.25
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> t
+      | _ ->
+          Printf.eprintf "bad CCS_BENCH_TOLERANCE %S (want a positive float)\n" s;
+          exit 2)
+
+let instance ~seed ~n ~classes ~machines ~slots =
+  Ccs.Generator.generate ~seed
+    { Ccs.Generator.n; classes; machines; slots; p_lo = 1; p_hi = 1000;
+      family = Ccs.Generator.Uniform }
+
+(* The E5 shape, sized so every phase takes a few milliseconds at least —
+   sub-millisecond phases would drown a 25% gate in scheduler noise — while
+   the whole gate still runs in seconds. The approximation algorithms repeat
+   their solve inside the phase for the same reason. *)
+let phases =
+  let approx = instance ~seed:(400 * 7919) ~n:4000 ~classes:800 ~machines:400 ~slots:3 in
+  let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
+  let param = Ccs.Ptas.Common.param 1 in
+  let times k f () = for _ = 1 to k do f () done in
+  [ ("approx_splittable", times 10 (fun () -> ignore (Ccs.Approx.Splittable.solve approx)));
+    ("approx_preemptive", times 10 (fun () -> ignore (Ccs.Approx.Preemptive.solve approx)));
+    ("approx_nonpreemptive",
+     times 10 (fun () -> ignore (Ccs.Approx.Nonpreemptive.solve approx)));
+    (* the warm-started simplex left a single PTAS solve sub-millisecond,
+       so these repeat enough to stay a few ms above scheduler noise *)
+    ("ptas_splittable",
+     times 20 (fun () -> ignore (Ccs.Ptas.Splittable_ptas.solve param small)));
+    ("ptas_nonpreemptive",
+     times 50 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
+  ]
+
+let time_phase f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Ccs_util.Mono.now_s () in
+    f ();
+    best := min !best (Ccs_util.Mono.now_s () -. t0)
+  done;
+  !best
+
+(* A workload touching the same machinery the solvers lean on (rational
+   arithmetic, hence allocation and bigint work) but independent of any
+   code under test, used to cancel out raw machine speed. *)
+let calibrate () =
+  time_phase (fun () ->
+      (* overwritten every iteration so numerators stay small — a running
+         sum would grow its denominator without bound *)
+      let acc = ref Rat.zero in
+      for i = 1 to 200_000 do
+        let x = Rat.of_ints (1 + (i mod 97)) (1 + (i mod 89)) in
+        let y = Rat.of_ints (1 + (i mod 83)) (1 + (i mod 79)) in
+        acc := Rat.add (Rat.mul x y) (Rat.div x y)
+      done;
+      ignore !acc)
+
+let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
+
+(* Deterministic solver-effort counters over a fixed PTAS workload. Unlike
+   walls these are exact and machine-independent, so they are compared
+   unscaled: lp.phase1_iterations guards the simplex crash-basis/warm-start
+   machinery (a cold-start regression shows up here long before it moves a
+   noisy wall), and rat.promotions guards the small-int fast path (a single
+   careless magnitude blow-up sends the hot numbers to the Bigint arm). *)
+let counter_names = [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks" ]
+
+let measure_counters () =
+  let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
+  let param = Ccs.Ptas.Common.param 1 in
+  Ccs_obs.Metrics.reset ();
+  Ccs_resil.Deadline.reset_stats ();
+  ignore (Ccs.Ptas.Splittable_ptas.solve param small);
+  ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small);
+  (* the exact checkpoint count guards the cancellation layer's overhead:
+     a new checkpoint in a hot loop moves this long before it moves a wall *)
+  Ccs_resil.Deadline.flush_stats ();
+  let snap = Ccs_obs.Metrics.snapshot ~all:true () in
+  List.map
+    (fun name ->
+      match Option.bind (List.assoc_opt name snap) (function
+        | J.Int i -> Some i
+        | _ -> None) with
+      | Some v -> (name, v)
+      | None ->
+          Printf.eprintf "counter %S missing from the metrics registry\n" name;
+          exit 2)
+    counter_names
+
+(* ---------------- baseline file ---------------- *)
+
+type baseline = {
+  calibration_s : float;
+  walls : (string * float) list;
+  counters : (string * int) list;
+}
+
+let number = function
+  | J.Float w -> Some w
+  | J.Int w -> Some (float_of_int w)
+  | _ -> None
+
+let read_baseline path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no %s — run check_regression --update to create it" path)
+  else
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match J.of_string text with
+    | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
+    | Ok json -> (
+        match Option.bind (J.member "calibration_s" json) number with
+        | Some calibration_s when calibration_s > 0.0 -> (
+            let counters =
+              (* absent in baselines written before the counter gate existed *)
+              match J.member "counters" json with
+              | Some (J.Obj kvs) ->
+                  List.filter_map
+                    (fun (k, v) -> match v with J.Int i -> Some (k, i) | _ -> None)
+                    kvs
+              | _ -> []
+            in
+            match J.member "phases" json with
+            | Some (J.Obj kvs) ->
+                Ok
+                  { calibration_s;
+                    walls =
+                      List.filter_map
+                        (fun (k, v) -> Option.map (fun w -> (k, w)) (number v))
+                        kvs;
+                    counters }
+            | _ -> Error (Printf.sprintf "%s: missing \"phases\" object" path))
+        | _ -> Error (Printf.sprintf "%s: missing \"calibration_s\"" path))
+
+let write_baseline path =
+  let cal = calibrate () in
+  let walls = measure () in
+  let counters = measure_counters () in
+  let round = J.round_sig 9 in
+  let json =
+    J.Obj
+      [ ("calibration_s", J.Float (round cal));
+        ("phases", J.Obj (List.map (fun (n, w) -> (n, J.Float (round w))) walls));
+        ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) counters)) ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (J.to_string json);
+      Out_channel.output_char oc '\n');
+  (cal, List.length walls)
+
+(* ---------------- comparison ---------------- *)
+
+type wall_row = {
+  name : string;
+  expected_s : float option;  (* baseline wall, machine-speed scaled *)
+  current_s : float;
+  delta : float option;       (* (current - expected) / expected *)
+  regressed : bool;
+}
+
+type counter_row = {
+  cname : string;
+  expected : int option;
+  current : int;
+  cdelta : float option;
+  cregressed : bool;
+}
+
+type comparison = {
+  scale : float;  (* calibration_now / calibration_baseline *)
+  calibration_s : float;
+  base_calibration_s : float;
+  wall_rows : wall_row list;
+  dropped_phases : string list;  (* in baseline, no longer measured *)
+  counter_rows : counter_row list;
+  tol : float;
+}
+
+let regressions cmp =
+  List.filter_map (fun r -> if r.regressed then Some r.name else None) cmp.wall_rows
+  @ List.filter_map
+      (fun r -> if r.cregressed then Some r.cname else None)
+      cmp.counter_rows
+
+(* Re-measures the gate workloads and compares against [path]. *)
+let compare_to_baseline ?(path = default_baseline_path) () =
+  match read_baseline path with
+  | Error _ as e -> e
+  | Ok base ->
+      let cal = calibrate () in
+      let scale = cal /. base.calibration_s in
+      let current = measure () in
+      let current_counters = measure_counters () in
+      let wall_rows =
+        List.map
+          (fun (name, wall) ->
+            match List.assoc_opt name base.walls with
+            | None ->
+                { name; expected_s = None; current_s = wall; delta = None;
+                  regressed = false }
+            | Some b ->
+                let expected = b *. scale in
+                let delta = (wall -. expected) /. expected in
+                { name; expected_s = Some expected; current_s = wall;
+                  delta = Some delta; regressed = delta > tolerance })
+          current
+      in
+      let dropped_phases =
+        List.filter_map
+          (fun (name, _) ->
+            if List.mem_assoc name current then None else Some name)
+          base.walls
+      in
+      (* counters are exact: no machine-speed scaling, same relative tolerance *)
+      let counter_rows =
+        List.map
+          (fun (cname, v) ->
+            match List.assoc_opt cname base.counters with
+            | None ->
+                { cname; expected = None; current = v; cdelta = None;
+                  cregressed = false }
+            | Some b ->
+                let delta =
+                  if b = 0 then if v = 0 then 0.0 else infinity
+                  else float_of_int (v - b) /. float_of_int b
+                in
+                { cname; expected = Some b; current = v; cdelta = Some delta;
+                  cregressed = delta > tolerance })
+          current_counters
+      in
+      Ok
+        { scale; calibration_s = cal; base_calibration_s = base.calibration_s;
+          wall_rows; dropped_phases; counter_rows; tol = tolerance }

@@ -1,9 +1,16 @@
-(* Shared observability flags for the two CLIs: --log-level, --log-json,
-   --trace-out and --metrics, plus the end-of-run reporting they imply. *)
+(* Shared observability flags for the CLIs: --log-level, --log-json,
+   --trace-out, --metrics, --metrics-out, --record and --progress, plus
+   the end-of-run reporting they imply. *)
 
 open Cmdliner
 
-type t = { trace_out : string option; metrics : bool }
+type t = {
+  trace_out : string option;
+  metrics : bool;
+  metrics_out : string option;
+  record_out : string option;
+  progress : bool;
+}
 
 let log_level =
   Arg.(
@@ -28,7 +35,34 @@ let metrics =
     value & flag
     & info [ "metrics" ] ~doc:"Print the metrics registry as a table after the run.")
 
-let setup level_s json trace metrics =
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry in OpenMetrics (Prometheus) text format \
+           after the run.")
+
+let record_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Enable the solver flight recorder and write its event stream \
+           (convergence updates, phase GC/work attribution, checkpoint \
+           samples) to FILE as JSONL.")
+
+let progress =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a progress ticker to stderr during long solves: current \
+           phase, relative gap, and elapsed time against the deadline.")
+
+let setup level_s json trace metrics metrics_out record progress =
   (match Ccs_obs.Log.level_of_string level_s with
   | Ok lvl -> Ccs_obs.Log.set_level lvl
   | Error e ->
@@ -36,24 +70,41 @@ let setup level_s json trace metrics =
       exit 2);
   if json then Ccs_obs.Log.set_format Ccs_obs.Log.Jsonl;
   if trace <> None then Ccs_obs.Span.set_enabled true;
-  { trace_out = trace; metrics }
+  (* the ticker rides on the recorder's event stream, so --progress alone
+     still starts one (it just never gets written out) *)
+  if record <> None || progress then Ccs_obs.Recorder.start ();
+  if progress then Ccs_obs.Recorder.set_progress true;
+  { trace_out = trace; metrics; metrics_out; record_out = record; progress }
 
-let term = Term.(const setup $ log_level $ log_json $ trace_out $ metrics)
+let term =
+  Term.(
+    const setup $ log_level $ log_json $ trace_out $ metrics $ metrics_out
+    $ record_out $ progress)
 
-(* Runs even when the solver raised: partial metrics and traces are exactly
-   what one wants when diagnosing a failure. *)
+(* Runs even when the solver raised: partial metrics, traces and recordings
+   are exactly what one wants when diagnosing a failure. *)
 let report t =
   (match t.trace_out with
   | Some path ->
       Ccs_obs.Span.write_chrome_trace path;
       Printf.eprintf "wrote trace (%d spans) to %s\n" (Ccs_obs.Span.count ()) path
   | None -> ());
-  if t.metrics then begin
+  (match t.record_out with
+  | Some path ->
+      Ccs_obs.Recorder.write_jsonl path;
+      Printf.eprintf "wrote recording (%d events, %d dropped) to %s\n"
+        (List.length (Ccs_obs.Recorder.events ()))
+        (Ccs_obs.Recorder.dropped ())
+        path
+  | None -> ());
+  if t.metrics || t.metrics_out <> None then
     (* the cancellation layer batches its check count locally; fold the
-       tail into the registry so the table never under-reports it *)
+       tail into the registry so no report under-reports it *)
     Ccs_resil.Deadline.flush_stats ();
-    print_endline (Ccs_obs.Metrics.dump_table ())
-  end
+  (match t.metrics_out with
+  | Some path -> Ccs_obs.Metrics.write_openmetrics path
+  | None -> ());
+  if t.metrics then print_endline (Ccs_obs.Metrics.dump_table ())
 
 let with_reporting t f =
   match f () with

@@ -30,6 +30,10 @@ type 'a outcome = 'a solved Outcome.t
 let m_degraded = Metrics.counter "resil.degradations"
 let h_overshoot = Metrics.histogram "resil.deadline_overshoot_ms"
 
+let h_rung =
+  Metrics.log_histogram
+    ~help:"Wall time spent in one degradation-ladder rung" "anytime.rung_s"
+
 (* ---------------- ladder state ---------------- *)
 
 type 'a state = {
@@ -37,18 +41,30 @@ type 'a state = {
   mutable lb : Q.t;
   mutable interrupted : bool;
   mutable phase : rung;
+  ord : int;  (* this driver invocation's solve ordinal, for the recorder *)
 }
 
-let init lb = { inc = None; lb; interrupted = false; phase = Fallback }
+let driver_solves = Atomic.make 0
+
+let init lb =
+  { inc = None; lb; interrupted = false; phase = Fallback;
+    ord = Atomic.fetch_and_add driver_solves 1 }
 
 (* Strongest rung wins ties: an equal-makespan incumbent from a later rung
-   never displaces the earlier (stronger) one. *)
+   never displaces the earlier (stronger) one — which is also what keeps
+   the recorder's driver gap trace non-increasing. *)
 let accept st rung schedule makespan =
   match st.inc with
   | Some s when Q.(s.makespan <= makespan) -> ()
-  | _ -> st.inc <- Some { schedule; makespan; rung }
+  | _ ->
+      st.inc <- Some { schedule; makespan; rung };
+      Ccs_obs.Recorder.incumbent ~src:"driver" ~solve:st.ord (Q.to_float makespan)
 
-let raise_lb st v = if Q.(v > st.lb) then st.lb <- v
+let raise_lb st v =
+  if Q.(v > st.lb) then begin
+    st.lb <- v;
+    Ccs_obs.Recorder.lower_bound ~src:"driver" ~solve:st.ord (Q.to_float v)
+  end
 
 (* A rung body either finishes, is interrupted (deadline kill or injected
    fault — the ladder degrades), or reports the accuracy out of practical
@@ -87,11 +103,20 @@ let ladder = function
   | Fallback -> [ Fallback ]
 
 let climb st ~base ~grace_ms ~start step =
+  (match Deadline.limit_ns base with
+  | Some l when Ccs_obs.Recorder.active () -> Ccs_obs.Recorder.set_deadline_ns l
+  | _ -> ());
   let rec go = function
     | [] -> ()
     | r :: rest ->
         st.phase <- r;
-        if not (step r (rung_token base ~grace_ms r)) then go rest
+        let t0 = Ccs_util.Mono.now_ns () in
+        let ok =
+          Ccs_obs.Recorder.phase ("rung." ^ rung_name r) (fun () ->
+              step r (rung_token base ~grace_ms r))
+        in
+        Metrics.observe_log h_rung (Ccs_util.Mono.elapsed_s ~since:t0);
+        if not ok then go rest
   in
   go (ladder start)
 

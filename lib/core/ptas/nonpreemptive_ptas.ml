@@ -393,6 +393,8 @@ let solve ?progress p inst =
     ( Array.init n (fun j -> j),
       { t_accepted = Q.of_int (Instance.pmax inst); oracle_calls = 0; ilp_vars = 0 } )
   else
+    Ccs_obs.Recorder.phase "ptas"
+    @@ fun () ->
     Ccs_obs.Span.with_ "nonpreemptive.solve"
       ~fields:
         [ Ccs_obs.Log.int "n" n;

@@ -523,6 +523,8 @@ let solve ?progress p inst =
           [ { Schedule.pjob = j; start = Q.zero; len = Q.of_int (Instance.job inst j).Instance.p } ]),
       { t_accepted = Q.of_int (Instance.pmax inst); oracle_calls = 0; ilp_vars = 0; layers = 0 } )
   else
+    Ccs_obs.Recorder.phase "ptas"
+    @@ fun () ->
     Ccs_obs.Span.with_ "preemptive.solve"
       ~fields:
         [ Ccs_obs.Log.int "n" n;

@@ -417,6 +417,8 @@ let oracle ?(explicit_limit = 4096) ?warm ?basis_out (p : Common.param) inst t =
 let solve ?(explicit_limit = 4096) ?progress p inst =
   if not (Instance.schedulable inst) then
     invalid_arg "Splittable_ptas.solve: C > c*m, no schedule exists";
+  Ccs_obs.Recorder.phase "ptas"
+  @@ fun () ->
   Ccs_obs.Span.with_ "splittable.solve"
     ~fields:
       [ Ccs_obs.Log.int "n" (Instance.n inst);

@@ -13,9 +13,12 @@ let chk_node = Ccs_resil.Deadline.site ~hot:true "bnb.node"
    yields a valid schedule, just a possibly sub-optimal one. *)
 type status = Complete | Node_limit | Interrupted of exn
 
+let solve_ids = Atomic.make 0
+
 let solve_status ?(node_limit = 50_000_000) inst =
   if not (Ccs.Instance.schedulable inst) then None
   else begin
+    let ord = Atomic.fetch_and_add solve_ids 1 in
     let n = Ccs.Instance.n inst in
     let m = min (Ccs.Instance.m inst) n in
     let c = Ccs.Instance.c inst in
@@ -35,6 +38,8 @@ let solve_status ?(node_limit = 50_000_000) inst =
     let start, _ = Ccs.Approx.Nonpreemptive.solve inst in
     let best = ref (Ccs.Schedule.nonpreemptive_makespan inst start) in
     let best_assignment = ref (Array.copy start) in
+    (* the warm start is incumbent zero of this solve's gap trace *)
+    Ccs_obs.Recorder.incumbent ~src:"bnb" ~solve:ord (float_of_int !best);
     let loads = Array.make m 0 in
     let class_count = Array.make m 0 in
     let class_used = Array.init m (fun _ -> Hashtbl.create 4) in
@@ -51,6 +56,8 @@ let solve_status ?(node_limit = 50_000_000) inst =
         if idx = n then begin
           best := current_max;
           incr incumbents;
+          Ccs_obs.Recorder.incumbent ~src:"bnb" ~solve:ord
+            (float_of_int current_max);
           Ccs_obs.Log.debug (fun log ->
               log
                 ~fields:
@@ -115,6 +122,8 @@ let solve_status ?(node_limit = 50_000_000) inst =
             "bnb.solve");
       Some (!best, !best_assignment, result)
     in
+    Ccs_obs.Recorder.phase "exact"
+    @@ fun () ->
     Ccs_obs.Span.with_ "bnb.solve"
       ~fields:[ Ccs_obs.Log.int "n" n; Ccs_obs.Log.int "m" m ]
       (fun () ->

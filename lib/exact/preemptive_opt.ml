@@ -152,6 +152,8 @@ let solve ?(max_nodes = 400_000) inst =
   if not (I.schedulable inst) then None
   else if I.n inst * min (I.m inst) (I.n inst) > 120 then None
   else begin
+    Ccs_obs.Recorder.phase "exact"
+    @@ fun () ->
     let problem, m, a, _ = build inst in
     match Ilp.solve ~max_nodes problem with
     | Ilp.Optimal { objective; solution } ->

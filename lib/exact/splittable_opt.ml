@@ -59,6 +59,8 @@ let solve_schedule ?(max_nodes = 2_000_000) inst =
        handle in reasonable time. *)
     None
   else begin
+    Ccs_obs.Recorder.phase "exact"
+    @@ fun () ->
     let problem, m, x = build inst in
     match Ilp.solve ~max_nodes problem with
     | Ilp.Optimal { objective; solution } ->

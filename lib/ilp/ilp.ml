@@ -42,7 +42,13 @@ let pick_branch_var integer x =
   in
   go 0
 
+(* Solve ordinal carried by recorder events: incumbents from concurrent or
+   repeated solves can be regrouped before asserting a trace decreases. *)
+let solve_ids = Atomic.make 0
+
 let solve ?(max_nodes = max_int) ?(feasibility = false) ?warm ?basis_out p =
+  Ccs_obs.Recorder.phase "ilp" @@ fun () ->
+  let ord = Atomic.fetch_and_add solve_ids 1 in
   let nodes = Domain.DLS.get nodes_key in
   nodes := 0;
   let incumbent = ref None in
@@ -79,7 +85,13 @@ let solve ?(max_nodes = max_int) ?(feasibility = false) ?warm ?basis_out p =
               match pick_branch_var p.integer solution with
               | None ->
                   if feasibility then raise (Found_first (objective, solution))
-                  else incumbent := Some (objective, solution)
+                  else begin
+                    (* accepted only when strictly better than the pruning
+                       bound, so this per-solve trace is decreasing *)
+                    incumbent := Some (objective, solution);
+                    Ccs_obs.Recorder.incumbent ~src:"ilp" ~solve:ord
+                      (Q.to_float objective)
+                  end
               | Some j ->
                   let v = solution.(j) in
                   let fl = Q.of_bigint (Q.floor v) in

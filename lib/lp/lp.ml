@@ -883,6 +883,7 @@ let extract_solution p model =
 let default_bland_after = 32
 
 let solve ?warm ?(bland_after = default_bland_after) p =
+  Ccs_obs.Recorder.phase "lp" @@ fun () ->
   match build_model ~bland_after p with
   | exception Empty_box ->
       let stats =

@@ -153,6 +153,8 @@ let solve_ilp ?max_nodes ?(feasibility = false) p =
   done;
   let lp = Lp.problem ~lower ~upper ~nvars:nv ~objective:obj_coeffs (List.rev !rows) in
   Ccs_obs.Metrics.incr m_ilp_solves;
+  Ccs_obs.Recorder.phase "nfold"
+  @@ fun () ->
   Ccs_obs.Span.with_ "nfold.solve_ilp"
     ~fields:[ Ccs_obs.Log.int "nvars" nv; Ccs_obs.Log.int "bricks" p.n ]
   @@ fun () ->
@@ -296,6 +298,8 @@ let optimize ?(max_norm = 2) p x0 =
       max_lambda := max !max_lambda (p.upper.(i).(j) - p.lower.(i).(j))
     done
   done;
+  Ccs_obs.Recorder.phase "nfold"
+  @@ fun () ->
   Ccs_obs.Span.with_ "nfold.optimize"
     ~fields:[ Ccs_obs.Log.int "bricks" p.n; Ccs_obs.Log.int "t" p.t ]
   @@ fun () ->
@@ -342,6 +346,8 @@ let optimize ?(max_norm = 2) p x0 =
    frozen at zero) to keep a uniform brick size. *)
 let find_feasible ?(max_norm = 2) p =
   validate p;
+  Ccs_obs.Recorder.phase "nfold"
+  @@ fun () ->
   Ccs_obs.Span.with_ "nfold.find_feasible"
     ~fields:[ Ccs_obs.Log.int "bricks" p.n ]
   @@ fun () ->

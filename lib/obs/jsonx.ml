@@ -248,3 +248,12 @@ let of_string s =
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs
   | _ -> None
+
+(* Round-tripping through %.*g decimal keeps [digits] significant digits
+   and drops the trailing binary noise a raw double prints with. Shared by
+   every JSON emitter that writes measured floats (bench rows, recorder
+   events): 9 digits is far below clock resolution but enough that diffs
+   of regenerated files stay readable. *)
+let round_sig digits x =
+  if x = 0.0 || not (Float.is_finite x) then x
+  else float_of_string (Printf.sprintf "%.*g" digits x)

@@ -23,3 +23,9 @@ val of_string : string -> (t, string) result
 
 (** [member key j] looks up [key] in an [Obj], [None] otherwise. *)
 val member : string -> t -> t option
+
+(** [round_sig d x] rounds [x] to [d] significant decimal digits (identity
+    on zero and non-finite values). Every emitter of measured floats —
+    bench rows ([Bench_util.round9]), recorder events — goes through this
+    so JSON files carry [1.20789991e-05], not 12 digits of clock noise. *)
+val round_sig : int -> float -> float

@@ -1,0 +1,77 @@
+(** Solver flight recorder: a process-wide, ring-buffered event stream.
+
+    Disabled by default; every emitter below is a single bool check when
+    off, so instrumented solvers cost nothing unless a run asked for
+    [--record]. When on, events carry seconds-since-{!start} timestamps
+    from the monotonic clock and are kept in a fixed-size ring — a long
+    solve can evict old events (see {!dropped}) but never grows memory.
+
+    The recorder only observes (metric counters, [Gc.quick_stat]); it
+    cannot perturb solver decisions, so output is bit-identical with and
+    without recording.
+
+    Event kinds emitted by the instrumented solvers:
+    - [incumbent] / [lower_bound] — convergence updates with [src]
+      ("driver", "ilp", "bnb"), a per-source [solve] ordinal, and the
+      bound [value]; the gap-over-time trace.
+    - [phase_start] / [phase_end] — paired by [id], tagged with the
+      domain. [phase_end] adds [dur_s], [Gc.quick_stat] deltas
+      ([gc_minor_words], [gc_promoted_words], [gc_major_words],
+      [gc_minor_collections], [gc_major_collections]) and watched-counter
+      deltas (pivots, nodes, augment steps, ...), zeros omitted.
+    - [sample] — periodic absolute counter snapshot from deadline
+      checkpoints the solvers already visit ([site], [checks], counters).
+
+    Serialized as JSONL: one meta header line
+    [{"ev":"meta","format":"ccs-recorder",...}], then one event object per
+    line with floats rounded to 9 significant digits. *)
+
+type event = { t_s : float; kind : string; fields : (string * Jsonx.t) list }
+
+(** Enable recording into a fresh ring ([capacity] events, default 65536)
+    and reset the clock epoch. Raises [Invalid_argument] on a
+    non-positive capacity. *)
+val start : ?capacity:int -> unit -> unit
+
+(** Disable and discard the buffer (also turns the progress ticker off). *)
+val stop : unit -> unit
+
+val active : unit -> bool
+
+(** Toggle the stderr progress ticker: at most one line per 100 ms
+    showing current phase, relative gap, and elapsed (plus the deadline
+    when {!set_deadline_ns} was called). *)
+val set_progress : bool -> unit
+
+(** Absolute monotonic deadline ([Ccs_util.Mono.now_ns] scale) shown by
+    the ticker as [elapsed/budget]. *)
+val set_deadline_ns : int -> unit
+
+(** Append an arbitrary event (no-op when inactive). *)
+val emit : string -> (string * Jsonx.t) list -> unit
+
+(** Convergence updates. [src] identifies the emitter; [solve] is that
+    source's solve ordinal, so traces from repeated sub-solves (many ILP
+    calls per PTAS guess) can be grouped before asserting monotonicity. *)
+val incumbent : src:string -> solve:int -> float -> unit
+
+val lower_bound : src:string -> solve:int -> float -> unit
+
+(** [phase name f] runs [f] between a [phase_start]/[phase_end] pair
+    carrying GC and watched-counter deltas. Exceptions propagate (the
+    [phase_end] is still emitted, flagged [raised]). When the recorder is
+    off this is exactly [f ()]. *)
+val phase : string -> (unit -> 'a) -> 'a
+
+(** Checkpoint hook (called by [Ccs_resil.Deadline.check]): amortized —
+    one [sample] event per 1024 calls per domain. *)
+val sample : site:string -> checks:int -> unit
+
+(** Buffered events, oldest first. *)
+val events : unit -> event list
+
+(** Events evicted by ring wrap-around since {!start}. *)
+val dropped : unit -> int
+
+val to_jsonl : unit -> string
+val write_jsonl : string -> unit

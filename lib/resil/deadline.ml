@@ -86,6 +86,12 @@ let trip tok reason site =
 
 let check site =
   Atomic.incr checks;
+  (* Flight-recorder sampling piggybacks on checkpoints the solvers
+     already visit (amortized inside [sample]). It only reads the counter
+     — the exact [resil.cancel_checks] count the bench gate pins is not
+     affected by recording. *)
+  if Ccs_obs.Recorder.active () then
+    Ccs_obs.Recorder.sample ~site:site.sname ~checks:(Atomic.get checks);
   let tok = ambient () in
   (if Faults.armed () then
      match Faults.decide site.sname with

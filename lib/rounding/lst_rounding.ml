@@ -3,6 +3,8 @@ module Q = Rat
 let round ~sizes ~machines ~allowed ~cap =
   let nparts = Array.length sizes in
   if Array.length allowed <> nparts then invalid_arg "Lst_rounding.round";
+  Ccs_obs.Recorder.phase "rounding"
+  @@ fun () ->
   (* variable per allowed (part, machine) pair *)
   let var_of = Hashtbl.create 64 in
   let pairs = ref [] in

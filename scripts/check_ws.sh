@@ -1,12 +1,15 @@
 #!/bin/sh
 # Whitespace lint over the source tree: no trailing whitespace, no tab
-# characters, final newline present. This is the *enforcing* half of the
-# format gate — the ocamlformat job proper stays advisory until the tree
-# has been bulk-formatted (see .github/workflows/ci.yml). Generated and
-# third-party reference files (PAPERS.md, SNIPPETS.md) are exempt.
+# characters, final newline present; OCaml sources and dune files must
+# additionally use LF line endings and not end in blank lines. This is
+# the *enforcing* half of the format gate — the ocamlformat job proper
+# stays advisory until the tree has been bulk-formatted (see
+# .github/workflows/ci.yml). Generated and third-party reference files
+# (PAPERS.md, SNIPPETS.md) are exempt.
 set -eu
 cd "$(dirname "$0")/.."
 TAB=$(printf '\t')
+CR=$(printf '\r')
 status=0
 # *.t (cram) files are exempt: blank expected-output lines are encoded as
 # two trailing spaces, which is load-bearing there.
@@ -31,6 +34,22 @@ for f in $(git ls-files '*.ml' '*.mli' '*.yml' '*.sh' 'dune-project' '*dune' \
     echo "missing final newline: $f"
     status=1
   fi
+  # OCaml sources and dune files: strict LF endings, no blank line at EOF
+  # (both survive careless editors and break the dune diff-based promotion
+  # workflow in subtle ways).
+  case "$f" in
+    *.ml|*.mli|*/dune|dune|dune-project)
+      if grep -n "$CR" "$f" /dev/null >/dev/null 2>&1; then
+        echo "CR line ending in $f:"
+        grep -n "$CR" "$f" | head -3
+        status=1
+      fi
+      if [ -s "$f" ] && [ "$(tail -c2 "$f" | wc -l)" -ge 2 ]; then
+        echo "trailing blank line at end of $f"
+        status=1
+      fi
+      ;;
+  esac
 done
 if [ "$status" -eq 0 ]; then
   echo "whitespace lint: clean"

@@ -6,6 +6,7 @@ module Log = Ccs_obs.Log
 module Span = Ccs_obs.Span
 module Metrics = Ccs_obs.Metrics
 module Jsonx = Ccs_obs.Jsonx
+module Recorder = Ccs_obs.Recorder
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
@@ -211,6 +212,265 @@ let test_snapshot_active_only () =
   let all_names = List.map fst (Metrics.snapshot ~all:true ()) in
   Alcotest.(check bool) "all includes inactive" true (List.mem "test.inactive" all_names)
 
+let test_name_convention () =
+  let rejects name =
+    match Metrics.counter name with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" name)
+  in
+  (* non-canonical unit aliases and malformed segments *)
+  List.iter rejects
+    [ "test.bad_us"; "test.bad_msec"; "test.bad_kb"; "test.bad_percent";
+      "Test.upper"; "test..empty"; "9leading.digit"; "test.hy-phen"; "" ];
+  (* canonical suffixes and dimensionless names register fine *)
+  ignore (Metrics.counter "test.nameok.plain");
+  ignore (Metrics.histogram "test.nameok.lat_ms");
+  ignore (Metrics.gauge "test.nameok.mem_words");
+  ignore (Metrics.log_histogram "test.nameok.rung_s");
+  (* find-or-create: a second lookup of an accepted name is not re-checked *)
+  ignore (Metrics.counter "test.nameok.plain")
+
+let test_log_histogram () =
+  let h = Metrics.log_histogram "test.loghist_s" in
+  Metrics.reset ();
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.log_histogram_quantile h 50.0));
+  Alcotest.(check bool) "empty max is nan" true
+    (Float.is_nan (Metrics.log_histogram_max h));
+  List.iter (Metrics.observe_log h) [ 0.003; 0.004; 2.0; 100.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.log_histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 102.007 (Metrics.log_histogram_sum h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Metrics.log_histogram_max h);
+  (* 0.003 and 0.004 both land in the (0.0025, 0.005] bucket, so the p50
+     upper estimate is that bucket's bound *)
+  Alcotest.(check (float 1e-9)) "p50 is a bucket bound" 0.005
+    (Metrics.log_histogram_quantile h 50.0);
+  Alcotest.(check (float 1e-9)) "p100 clamps to observed max" 100.0
+    (Metrics.log_histogram_quantile h 100.0);
+  let b = Metrics.log_bounds in
+  Alcotest.(check int) "3 bounds per decade over 13 decades" 39 (Array.length b);
+  Alcotest.(check bool) "bounds positive and strictly increasing" true
+    (Array.for_all (fun x -> x > 0.0) b
+    && Array.for_all Fun.id
+         (Array.init (Array.length b - 1) (fun i -> b.(i) < b.(i + 1))))
+
+(* Line-level OpenMetrics validator: every line of the exposition must be a
+   well-formed comment ([# TYPE|UNIT|HELP name ...]), a sample whose family
+   was declared above it, or the final [# EOF]. *)
+let test_openmetrics_lines () =
+  let c = Metrics.counter ~help:"Validator fodder" "test.om.reqs" in
+  let g = Metrics.gauge "test.om.load_ratio" in
+  let h = Metrics.histogram "test.om.lat_s" in
+  let lh = Metrics.log_histogram "test.om.rung_s" in
+  ignore (Metrics.gauge "test.om.never_set");
+  Metrics.reset ();
+  Metrics.add c 3;
+  Metrics.set_gauge g 0.5;
+  List.iter (Metrics.observe h) [ 0.001; 0.02; 3.0 ];
+  List.iter (Metrics.observe_log lh) [ 0.004; 7.0 ];
+  let text = Metrics.to_openmetrics () in
+  Alcotest.(check bool) "terminated by # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  let lines =
+    match List.rev (String.split_on_char '\n' text) with
+    | "" :: rest -> List.rev rest
+    | _ -> Alcotest.fail "missing trailing newline"
+  in
+  let n_lines = List.length lines in
+  let name_ok n =
+    String.length n > 4
+    && String.sub n 0 4 = "ccs_"
+    && String.for_all
+         (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+         n
+  in
+  let families = Hashtbl.create 16 in
+  List.iteri
+    (fun i line ->
+      let fail reason =
+        Alcotest.fail (Printf.sprintf "line %d %S: %s" (i + 1) line reason)
+      in
+      if line = "" then fail "blank line"
+      else if line = "# EOF" then begin
+        if i <> n_lines - 1 then fail "EOF before last line"
+      end
+      else if line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: kw :: n :: rest -> (
+            if not (name_ok n) then fail "bad family name";
+            match kw with
+            | "TYPE" ->
+                if not (rest = [ "counter" ] || rest = [ "gauge" ] || rest = [ "histogram" ])
+                then fail "bad TYPE";
+                Hashtbl.replace families n ()
+            | "UNIT" ->
+                if
+                  not
+                    (match rest with
+                    | [ u ] -> List.mem u [ "s"; "ms"; "words"; "bytes"; "ratio" ]
+                    | _ -> false)
+                then fail "non-canonical UNIT"
+            | "HELP" -> if rest = [] then fail "empty HELP"
+            | _ -> fail "unknown comment keyword")
+        | _ -> fail "malformed comment"
+      end
+      else begin
+        match String.index_opt line ' ' with
+        | None -> fail "sample without value"
+        | Some sp -> (
+            let lhs = String.sub line 0 sp
+            and value = String.sub line (sp + 1) (String.length line - sp - 1) in
+            (match float_of_string_opt value with
+            | Some v when Float.is_finite v && v >= 0.0 -> ()
+            | _ -> fail "value is not a non-negative finite number");
+            let base =
+              match String.index_opt lhs '{' with
+              | None -> lhs
+              | Some b ->
+                  if lhs.[String.length lhs - 1] <> '}' then fail "unclosed label set";
+                  let labels = String.sub lhs (b + 1) (String.length lhs - b - 2) in
+                  if
+                    not
+                      (String.length labels > 5
+                      && String.sub labels 0 4 = "le=\""
+                      && labels.[String.length labels - 1] = '"')
+                  then fail "only a le=\"...\" label is expected";
+                  String.sub lhs 0 b
+            in
+            if not (name_ok base) then fail "bad sample name";
+            let candidates =
+              base
+              :: List.filter_map
+                   (fun suf ->
+                     let ls = String.length suf and lb = String.length base in
+                     if lb > ls && String.sub base (lb - ls) ls = suf then
+                       Some (String.sub base 0 (lb - ls))
+                     else None)
+                   [ "_total"; "_bucket"; "_count"; "_sum" ]
+            in
+            if not (List.exists (Hashtbl.mem families) candidates) then
+              fail "sample before (or without) its # TYPE line")
+      end)
+    lines;
+  (* spot checks on the families we populated above *)
+  let has needle = contains ~needle text in
+  Alcotest.(check bool) "counter sampled as _total" true
+    (has "ccs_test_om_reqs_total 3\n");
+  Alcotest.(check bool) "help line" true
+    (has "# HELP ccs_test_om_reqs Validator fodder\n");
+  Alcotest.(check bool) "unit line from _s suffix" true
+    (has "# UNIT ccs_test_om_lat_s s\n");
+  Alcotest.(check bool) "ratio unit line" true
+    (has "# UNIT ccs_test_om_load_ratio ratio\n");
+  Alcotest.(check bool) "gauge sample" true (has "ccs_test_om_load_ratio 0.5\n");
+  Alcotest.(check bool) "unset gauge omitted" false (has "ccs_test_om_never_set");
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        let pre = "ccs_test_om_lat_s_bucket{le=\"" in
+        if
+          String.length line > String.length pre
+          && String.sub line 0 (String.length pre) = pre
+        then
+          match String.index_opt line ' ' with
+          | Some sp ->
+              int_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check int) "one bucket per bound plus +Inf"
+    (Array.length Metrics.log_bounds + 1)
+    (List.length bucket_counts);
+  let rec nondec = function
+    | a :: (b :: _ as t) -> a <= b && nondec t
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets are cumulative" true (nondec bucket_counts);
+  Alcotest.(check int) "+Inf bucket equals count" 3
+    (List.nth bucket_counts (List.length bucket_counts - 1));
+  Alcotest.(check bool) "_count sample" true (has "ccs_test_om_lat_s_count 3\n");
+  Alcotest.(check bool) "_sum sample" true (has "ccs_test_om_lat_s_sum 3.021\n")
+
+(* ---------- recorder ---------- *)
+
+let test_recorder_off () =
+  Alcotest.(check bool) "inactive by default" false (Recorder.active ());
+  Recorder.emit "noise" [];
+  Alcotest.(check int) "nothing buffered when off" 0
+    (List.length (Recorder.events ()));
+  Alcotest.(check int) "phase is passthrough" 9 (Recorder.phase "x" (fun () -> 9));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Recorder.start: capacity must be positive") (fun () ->
+      Recorder.start ~capacity:0 ())
+
+let test_recorder_phase_pairing () =
+  Recorder.start ();
+  Fun.protect ~finally:Recorder.stop (fun () ->
+      let r = Recorder.phase "outer" (fun () -> Recorder.phase "inner" (fun () -> 5)) in
+      Alcotest.(check int) "value" 5 r;
+      (try Recorder.phase "boom" (fun () -> failwith "x") with Failure _ -> ());
+      let evs = Recorder.events () in
+      let by_kind k = List.filter (fun e -> e.Recorder.kind = k) evs in
+      let starts = by_kind "phase_start" and ends = by_kind "phase_end" in
+      Alcotest.(check int) "three starts" 3 (List.length starts);
+      Alcotest.(check int) "three ends" 3 (List.length ends);
+      let id e =
+        match List.assoc_opt "id" e.Recorder.fields with
+        | Some (Jsonx.Int i) -> i
+        | _ -> Alcotest.fail "phase event without id"
+      in
+      Alcotest.(check (list int)) "ends pair starts by id"
+        (List.sort compare (List.map id starts))
+        (List.sort compare (List.map id ends));
+      List.iter
+        (fun e ->
+          match List.assoc_opt "dur_s" e.Recorder.fields with
+          | Some (Jsonx.Float d) ->
+              Alcotest.(check bool) "duration non-negative" true (d >= 0.0)
+          | _ -> Alcotest.fail "phase_end without dur_s")
+        ends;
+      let boom =
+        List.find
+          (fun e ->
+            List.assoc_opt "phase" e.Recorder.fields = Some (Jsonx.Str "boom"))
+          ends
+      in
+      Alcotest.(check bool) "raise is flagged" true
+        (List.assoc_opt "raised" boom.Recorder.fields = Some (Jsonx.Bool true));
+      let rec mono = function
+        | a :: (b :: _ as t) -> a.Recorder.t_s <= b.Recorder.t_s && mono t
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps monotone" true (mono evs))
+
+let test_recorder_ring_drop () =
+  Recorder.start ~capacity:4 ();
+  Fun.protect ~finally:Recorder.stop (fun () ->
+      for i = 0 to 9 do
+        Recorder.emit "tick" [ ("i", Jsonx.Int i) ]
+      done;
+      Alcotest.(check int) "dropped count" 6 (Recorder.dropped ());
+      let evs = Recorder.events () in
+      let idx e =
+        match List.assoc_opt "i" e.Recorder.fields with
+        | Some (Jsonx.Int i) -> i
+        | _ -> -1
+      in
+      Alcotest.(check (list int)) "newest retained, oldest first" [ 6; 7; 8; 9 ]
+        (List.map idx evs);
+      let first_line = List.hd (String.split_on_char '\n' (Recorder.to_jsonl ())) in
+      match Jsonx.of_string first_line with
+      | Error e -> Alcotest.fail ("meta line does not parse: " ^ e)
+      | Ok j ->
+          Alcotest.(check bool) "meta header" true
+            (Jsonx.member "ev" j = Some (Jsonx.Str "meta")
+            && Jsonx.member "format" j = Some (Jsonx.Str "ccs-recorder"));
+          Alcotest.(check bool) "meta reports events and drops" true
+            (Jsonx.member "events" j = Some (Jsonx.Int 4)
+            && Jsonx.member "dropped" j = Some (Jsonx.Int 6)))
+
 (* ---------- jsonx ---------- *)
 
 let test_jsonx_roundtrip () =
@@ -260,7 +520,14 @@ let () =
         [ Alcotest.test_case "counters + reset" `Quick test_counters_and_reset;
           Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
           Alcotest.test_case "histogram vs Util.Stats" `Quick test_histogram_vs_stats;
-          Alcotest.test_case "snapshot active-only" `Quick test_snapshot_active_only ] );
+          Alcotest.test_case "snapshot active-only" `Quick test_snapshot_active_only;
+          Alcotest.test_case "name convention" `Quick test_name_convention;
+          Alcotest.test_case "log histogram" `Quick test_log_histogram;
+          Alcotest.test_case "openmetrics line validator" `Quick test_openmetrics_lines ] );
+      ( "recorder",
+        [ Alcotest.test_case "off by default" `Quick test_recorder_off;
+          Alcotest.test_case "phase pairing" `Quick test_recorder_phase_pairing;
+          Alcotest.test_case "ring drop accounting" `Quick test_recorder_ring_drop ] );
       ( "jsonx",
         [ Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "unicode escapes" `Quick test_jsonx_unicode_escape;
