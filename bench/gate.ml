@@ -34,6 +34,41 @@ let instance ~seed ~n ~classes ~machines ~slots =
     { Ccs.Generator.n; classes; machines; slots; p_lo = 1; p_hi = 1000;
       family = Ccs.Generator.Uniform }
 
+(* ---------------- XL tier (opt-in) ----------------
+
+   Million-job workloads through the flat paths: streaming parse and the
+   splittable / non-preemptive 2-approximations. Gated behind CCS_BENCH_XL
+   because materializing the instance costs ~16 MB off-heap and the phases
+   take seconds, which would slow every ordinary gate run; the bench-xl CI
+   job sets the variable, everyone else sees the baseline's xl_* entries as
+   benign dropped phases. The Uniform family is mandatory here — Zipf's
+   weighted draw is O(classes) per job, which at C = 150k would time the
+   generator, not the solver. *)
+
+let xl_enabled = Sys.getenv_opt "CCS_BENCH_XL" <> None
+
+let xl_spec =
+  { Ccs.Generator.n = 1_000_000; classes = 150_000; machines = 100_000;
+    slots = 3; p_lo = 1; p_hi = 1000; family = Ccs.Generator.Uniform }
+
+let xl_instance = lazy (Ccs.Generator.generate_flat ~seed:(9 * 7919) xl_spec)
+
+let xl_text = lazy (Ccs.Io.to_string_flat (Lazy.force xl_instance))
+
+let xl_phases () =
+  if not xl_enabled then []
+  else
+    [ ("xl_parse_stream",
+       fun () ->
+         match Ccs.Io.of_string_flat (Lazy.force xl_text) with
+         | Ok f -> ignore (Ccs.Instance.Flat.n f)
+         | Error e -> failwith e);
+      ("xl_solve_splittable",
+       fun () -> ignore (Ccs.Approx.Splittable.solve_flat (Lazy.force xl_instance)));
+      ("xl_solve_nonpreemptive",
+       fun () -> ignore (Ccs.Approx.Nonpreemptive.solve_flat (Lazy.force xl_instance)))
+    ]
+
 (* The E5 shape, sized so every phase takes a few milliseconds at least —
    sub-millisecond phases would drown a 25% gate in scheduler noise — while
    the whole gate still runs in seconds. The approximation algorithms repeat
@@ -54,6 +89,7 @@ let phases =
     ("ptas_nonpreemptive",
      times 50 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
   ]
+  @ xl_phases ()
 
 let time_phase f =
   let best = ref infinity in
@@ -87,7 +123,21 @@ let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
    machinery (a cold-start regression shows up here long before it moves a
    noisy wall), and rat.promotions guards the small-int fast path (a single
    careless magnitude blow-up sends the hot numbers to the Bigint arm). *)
-let counter_names = [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks" ]
+let counter_names =
+  [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks" ]
+  @
+  (* XL counters are exact and machine-independent too: the token count
+     pins the streaming lexer's behavior on a fixed 10^6-job file, the
+     probe count pins the border / binary searches, and the byte gauge
+     pins the flat representation at exactly 16 bytes per job. *)
+  if xl_enabled then
+    [ "io.stream_tokens"; "border_search.probes"; "approx.flat_solves";
+      "xl.flat_bytes" ]
+  else []
+
+let m_xl_flat_bytes =
+  Ccs_obs.Metrics.counter "xl.flat_bytes"
+    ~help:"Off-heap bytes of the XL tier's flat instance (16 per job)"
 
 let measure_counters () =
   let small = instance ~seed:(30 * 7919) ~n:30 ~classes:6 ~machines:3 ~slots:3 in
@@ -96,6 +146,15 @@ let measure_counters () =
   Ccs_resil.Deadline.reset_stats ();
   ignore (Ccs.Ptas.Splittable_ptas.solve param small);
   ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small);
+  if xl_enabled then begin
+    let fl = Lazy.force xl_instance in
+    (match Ccs.Io.of_string_flat (Lazy.force xl_text) with
+    | Ok f -> ignore (Ccs.Instance.Flat.n f)
+    | Error e -> failwith e);
+    ignore (Ccs.Approx.Splittable.solve_flat fl);
+    ignore (Ccs.Approx.Nonpreemptive.solve_flat fl);
+    Ccs_obs.Metrics.add m_xl_flat_bytes (Ccs.Instance.Flat.mem_bytes fl)
+  end;
   (* the exact checkpoint count guards the cancellation layer's overhead:
      a new checkpoint in a hot loop moves this long before it moves a wall *)
   Ccs_resil.Deadline.flush_stats ();

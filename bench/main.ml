@@ -5,8 +5,9 @@
      dune exec bench/main.exe -- -j 4 E6 # parallel repetitions on 4 domains
 
    Experiment ids: E1-E9 (theorem reproductions), A1-A2 (ablations; A2 also
-   covers A3), X1 (the Section 5 extension), F1-F5 (the paper's
-   illustrative figures). See DESIGN.md section 3 for the index and
+   covers A3), X1 (the Section 5 extension), XL (the million-job
+   streaming/flat throughput tier), F1-F5 (the paper's illustrative
+   figures). See DESIGN.md section 3 for the index and
    EXPERIMENTS.md for recorded results. Tables are deterministic at any -j
    (per-instance results are gathered in input order). *)
 
@@ -15,6 +16,7 @@ let experiments =
     ("E4", Exp_search.e4); ("E5", Exp_timing.e5); ("E6", Exp_ptas.e6);
     ("E7", Exp_ptas.e7); ("E8", Exp_ptas.e8); ("E9", Exp_nfold.e9);
     ("A1", Exp_search.a1); ("A2", Exp_ablation.a2_a3); ("X1", Exp_ext.x1);
+    ("XL", Exp_xl.xl);
     ("F1", Exp_figures.f1);
     ("F2", Exp_figures.f2); ("F3", Exp_figures.f3); ("F4", Exp_figures.f4);
     ("F5", Exp_figures.f5) ]

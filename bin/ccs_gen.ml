@@ -24,29 +24,44 @@ let family_conv =
   in
   Arg.conv (parse, print)
 
-let run n classes machines slots p_lo p_hi family seed output obs =
+let run n classes machines slots p_lo p_hi family seed output format obs =
   Obs_cli.with_reporting obs @@ fun () ->
   let spec = { Ccs.Generator.n; classes; machines; slots; p_lo; p_hi; family } in
-  let inst =
+  (* Both formats draw the same PRNG stream: a flat file holds exactly the
+     instance the text file would, byte-exactly after renumbering. *)
+  let fl =
     Ccs_obs.Span.with_ "gen.generate"
       ~fields:[ Ccs_obs.Log.int "n" n; Ccs_obs.Log.int "seed" seed ]
-      (fun () -> Ccs.Generator.generate ~seed spec)
+      (fun () -> Ccs.Generator.generate_flat ~seed spec)
   in
   Ccs_obs.Log.info (fun log ->
       log
         ~fields:
-          [ Ccs_obs.Log.int "n" (Ccs.Instance.n inst);
-            Ccs_obs.Log.int "classes" (Ccs.Instance.num_classes inst);
-            Ccs_obs.Log.int "machines" (Ccs.Instance.m inst) ]
+          [ Ccs_obs.Log.int "n" (Ccs.Instance.Flat.n fl);
+            Ccs_obs.Log.int "classes" (Ccs.Instance.Flat.num_classes fl);
+            Ccs_obs.Log.int "machines" (Ccs.Instance.Flat.m fl) ]
         "gen.generate: done");
-  let text = Ccs.Io.to_string inst in
-  (match output with
-  | None -> print_string text
-  | Some path ->
-      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
-      Printf.eprintf "wrote %s (n=%d, C=%d)\n" path (Ccs.Instance.n inst)
-        (Ccs.Instance.num_classes inst));
-  0
+  match format with
+  | `Flat -> (
+      match output with
+      | None ->
+          Printf.eprintf "error: --format flat is binary; -o FILE is required\n";
+          2
+      | Some path ->
+          Ccs.Io.save_flat path fl;
+          Printf.eprintf "wrote %s (n=%d, C=%d, flat binary)\n" path
+            (Ccs.Instance.Flat.n fl)
+            (Ccs.Instance.Flat.num_classes fl);
+          0)
+  | `Text ->
+      let text = Ccs.Io.to_string_flat fl in
+      (match output with
+      | None -> print_string text
+      | Some path ->
+          Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+          Printf.eprintf "wrote %s (n=%d, C=%d)\n" path (Ccs.Instance.Flat.n fl)
+            (Ccs.Instance.Flat.num_classes fl));
+      0
 
 let cmd =
   let n = Arg.(value & opt int 40 & info [ "n"; "jobs" ] ~doc:"Number of jobs.") in
@@ -60,7 +75,14 @@ let cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (stdout if absent).") in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("flat", `Flat) ]) `Text
+           & info [ "format" ] ~docv:"FMT"
+               ~doc:"Output format: $(b,text) (the ccs 1 line format) or $(b,flat) \
+                     (binary ccsb1: int64 arrays, loads a million jobs in two bulk \
+                     reads; requires $(b,-o)). Same seed, same instance, either way.")
+  in
   let info = Cmd.info "ccs_gen" ~doc:"Generate Class Constrained Scheduling instances" in
-  Cmd.v info Term.(const run $ n $ classes $ machines $ slots $ p_lo $ p_hi $ family $ seed $ output $ Obs_cli.term)
+  Cmd.v info Term.(const run $ n $ classes $ machines $ slots $ p_lo $ p_hi $ family $ seed $ output $ format $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -71,6 +71,49 @@ let render_timing path =
             (f "runs") (f "deadline_ms") (f "degraded") (f "invalid_outcomes")
             (f "overshoot_ms_p50") (f "overshoot_ms_p99") (f "overshoot_ms_max")
       | None -> ());
+      (match J.member "xl_sweep" json with
+      | Some xl ->
+          let f j k =
+            match J.member k j with
+            | Some (J.Float x) -> x
+            | Some (J.Int i) -> float_of_int i
+            | _ -> nan
+          in
+          out "";
+          out
+            "### XL tier (n=%.0f, m=%.0f, C=%.0f)" (f xl "n") (f xl "machines")
+            (f xl "classes");
+          out "";
+          out
+            "Flat form: %.0f MB off-heap; peak heap %.0f Mwords. Generate %.2fM \
+             jobs/s; parse %.2fM jobs/s (streaming text), %.2fM jobs/s (ccsb1 \
+             binary)."
+            (f xl "flat_mem_bytes" /. 1e6)
+            (f xl "peak_heap_words" /. 1e6)
+            (f xl "gen_jobs_per_s" /. 1e6)
+            (f xl "parse_text_jobs_per_s" /. 1e6)
+            (f xl "parse_bin_jobs_per_s" /. 1e6);
+          (match J.member "solves" xl with
+          | Some (J.List solves) ->
+              out "";
+              out "| variant (flat 2-approx) | wall | jobs/s | valid |";
+              out "|---|---:|---:|---|";
+              List.iter
+                (fun s ->
+                  let name =
+                    match J.member "variant" s with Some (J.Str v) -> v | _ -> "?"
+                  in
+                  let valid =
+                    match J.member "valid" s with
+                    | Some (J.Bool true) -> "yes"
+                    | Some (J.Bool false) -> "**NO**"
+                    | _ -> "-"
+                  in
+                  out "| %s | %s | %.2fM | %s |" name (ms (f s "wall_s"))
+                    (f s "jobs_per_s" /. 1e6) valid)
+                solves
+          | _ -> ())
+      | None -> ());
       out ""
 
 (* ---------------- recorder JSONL ---------------- *)

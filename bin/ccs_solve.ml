@@ -82,11 +82,94 @@ let print_preemptive buf sched =
       end)
     sched
 
+(* Run-length-compressed printers (--compress): schedules are summarized
+   per machine by class totals instead of per job, and consecutive machines
+   with identical summaries collapse into one "machines a..b" line — the
+   same idea as the splittable printer's blocks (Theorem 11's compressed
+   output), extended to the integral variants so that printing a
+   million-job schedule costs O(machines) lines, not O(jobs). *)
+
+let print_nonpreemptive_compressed buf inst assignment =
+  let machines = Hashtbl.create 16 in
+  Array.iteri
+    (fun j mi ->
+      let per_cls =
+        match Hashtbl.find_opt machines mi with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 4 in
+            Hashtbl.replace machines mi h;
+            h
+      in
+      let job = Ccs.Instance.job inst j in
+      let cnt, load =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt per_cls job.Ccs.Instance.cls)
+      in
+      Hashtbl.replace per_cls job.Ccs.Instance.cls (cnt + 1, load + job.Ccs.Instance.p))
+    assignment;
+  let rows =
+    Hashtbl.fold
+      (fun mi h acc ->
+        let classes =
+          Hashtbl.fold (fun u v acc -> (u, v) :: acc) h [] |> List.sort compare
+        in
+        let load = List.fold_left (fun acc (_, (_, l)) -> acc + l) 0 classes in
+        let desc =
+          String.concat ", "
+            (List.map
+               (fun (u, (cnt, l)) -> Printf.sprintf "class %d: %d jobs, load %d" u cnt l)
+               classes)
+        in
+        (mi, load, desc) :: acc)
+      machines []
+    |> List.sort compare
+  in
+  let rec emit = function
+    | [] -> ()
+    | (mi, load, desc) :: rest ->
+        let rec run last = function
+          | (mj, lj, dj) :: tl when mj = last + 1 && lj = load && dj = desc -> run mj tl
+          | tl -> (last, tl)
+        in
+        let last, rest = run mi rest in
+        if last = mi then Printf.bprintf buf "machine %d (load %d): %s\n" mi load desc
+        else Printf.bprintf buf "machines %d..%d (load %d each): %s\n" mi last load desc;
+        emit rest
+  in
+  emit rows
+
+let print_preemptive_compressed buf inst sched =
+  Array.iteri
+    (fun mi pieces ->
+      if pieces <> [] then begin
+        let per_cls = Hashtbl.create 4 in
+        let finish = ref Q.zero in
+        List.iter
+          (fun pc ->
+            let cls = (Ccs.Instance.job inst pc.Ccs.Schedule.pjob).Ccs.Instance.cls in
+            let cnt, tot =
+              Option.value ~default:(0, Q.zero) (Hashtbl.find_opt per_cls cls)
+            in
+            Hashtbl.replace per_cls cls (cnt + 1, Q.add tot pc.Ccs.Schedule.len);
+            finish := Q.max !finish (Q.add pc.Ccs.Schedule.start pc.Ccs.Schedule.len))
+          pieces;
+        let classes =
+          Hashtbl.fold (fun u v acc -> (u, v) :: acc) per_cls [] |> List.sort compare
+        in
+        Printf.bprintf buf "machine %d (finish %s): %s\n" mi (Q.to_string !finish)
+          (String.concat ", "
+             (List.map
+                (fun (u, (cnt, tot)) ->
+                  Printf.sprintf "class %d: %d pieces, time %s" u cnt (Q.to_string tot))
+                classes))
+      end)
+    sched
+
 (* Anytime mode (--deadline-ms / --anytime): run the degradation ladder
    starting at the requested algorithm's rung. A deadline never fails the
    run — it degrades it, and the degraded incumbent is validated and
    printed with its certified lower bound and ratio. *)
-let solve_anytime_one ~out inst variant algo param deadline_ms quiet =
+let solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress =
   let module D = Ccs_anytime.Driver in
   let module O = Ccs_resil.Outcome in
   let start =
@@ -127,35 +210,48 @@ let solve_anytime_one ~out inst variant algo param deadline_ms quiet =
   | Preemptive ->
       finish "preemptive"
         (Ccs.Schedule.validate_preemptive inst)
-        (print_preemptive out)
+        (if compress then print_preemptive_compressed out inst else print_preemptive out)
         (D.solve_preemptive ?deadline ~start ~param inst)
   | Nonpreemptive ->
       finish "non-preemptive"
         (fun a -> Result.map Q.of_int (Ccs.Schedule.validate_nonpreemptive inst a))
-        (print_nonpreemptive out inst)
+        ((if compress then print_nonpreemptive_compressed else print_nonpreemptive) out inst)
         (D.solve_nonpreemptive ?deadline ~start ~param inst)
 
 (* Solve one instance, accumulating stdout/stderr text into the buffers.
    Returns the exit code. *)
-let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime =
-  match Ccs.Io.load file with
+let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime ~format
+    ~compress =
+  (* Loading always streams into the flat form (text or binary is
+     auto-detected); the record view is rebuilt for the solvers and
+     validators that want it. --format flat routes the 2-approximations
+     through their flat fast paths instead — same bits out either way. *)
+  match Ccs.Io.load_flat file with
   | Error e ->
       Printf.bprintf err "error: %s\n" e;
       1
-  | Ok inst -> (
+  | Ok fl -> (
+      let inst = Ccs.Instance.of_flat fl in
+      let print_np = if compress then print_nonpreemptive_compressed else print_nonpreemptive in
+      let print_pre buf s =
+        if compress then print_preemptive_compressed buf inst s else print_preemptive buf s
+      in
       Printf.bprintf out "instance: n=%d m=%d c=%d C=%d\n" (Ccs.Instance.n inst)
         (Ccs.Instance.m inst) (Ccs.Instance.c inst) (Ccs.Instance.num_classes inst);
       let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
       let param = Ccs.Ptas.Common.param d in
       try
         if anytime || deadline_ms <> None then begin
-          solve_anytime_one ~out inst variant algo param deadline_ms quiet;
+          solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress;
           0
         end
         else begin
         (match (variant, algo) with
         | Splittable, Approx ->
-            let sched, stats = Ccs.Approx.Splittable.solve inst in
+            let sched, stats =
+              if format = `Flat then Ccs.Approx.Splittable.solve_flat fl
+              else Ccs.Approx.Splittable.solve inst
+            in
             let mk = Result.get_ok (Ccs.Schedule.validate_splittable inst sched) in
             Printf.bprintf out "splittable 2-approx: makespan %s (guess T=%s, <= 2T)\n"
               (Q.to_string mk) (Q.to_string stats.Ccs.Approx.Splittable.t_guess);
@@ -202,37 +298,43 @@ let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime =
                 if not quiet then print_splittable out sched
             | None -> Printf.bprintf out "exact solver out of budget or instance too large\n")
         | Preemptive, Approx ->
-            let sched, stats = Ccs.Approx.Preemptive.solve inst in
+            let sched, stats =
+              if format = `Flat then Ccs.Approx.Preemptive.solve_flat fl
+              else Ccs.Approx.Preemptive.solve inst
+            in
             let mk = Result.get_ok (Ccs.Schedule.validate_preemptive inst sched) in
             Printf.bprintf out "preemptive 2-approx: makespan %s (guess T=%s, <= 2T)\n"
               (Q.to_string mk) (Q.to_string stats.Ccs.Approx.Preemptive.t_guess);
-            if not quiet then print_preemptive out sched
+            if not quiet then print_pre out sched
         | Preemptive, Ptas ->
             let sched, stats = Ccs.Ptas.Preemptive_ptas.solve param inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_preemptive inst sched) in
             Printf.bprintf out "preemptive PTAS (delta=1/%d): makespan %s (accepted T=%s)\n" d
               (Q.to_string mk) (Q.to_string stats.Ccs.Ptas.Preemptive_ptas.t_accepted);
-            if not quiet then print_preemptive out sched
+            if not quiet then print_pre out sched
         | Preemptive, Exact ->
             Printf.bprintf out "no exact preemptive solver (see DESIGN.md); lower bound: %s\n"
               (Q.to_string (Ccs.Bounds.lb_preemptive inst))
         | Nonpreemptive, Approx ->
-            let sched, stats = Ccs.Approx.Nonpreemptive.solve inst in
+            let sched, stats =
+              if format = `Flat then Ccs.Approx.Nonpreemptive.solve_flat fl
+              else Ccs.Approx.Nonpreemptive.solve inst
+            in
             let mk = Result.get_ok (Ccs.Schedule.validate_nonpreemptive inst sched) in
             Printf.bprintf out "non-preemptive 7/3-approx: makespan %d (guess T=%d, <= 7/3 T)\n" mk
               stats.Ccs.Approx.Nonpreemptive.t_guess;
-            if not quiet then print_nonpreemptive out inst sched
+            if not quiet then print_np out inst sched
         | Nonpreemptive, Ptas ->
             let sched, stats = Ccs.Ptas.Nonpreemptive_ptas.solve param inst in
             let mk = Result.get_ok (Ccs.Schedule.validate_nonpreemptive inst sched) in
             Printf.bprintf out "non-preemptive PTAS (delta=1/%d): makespan %d (accepted T=%s)\n" d mk
               (Q.to_string stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted);
-            if not quiet then print_nonpreemptive out inst sched
+            if not quiet then print_np out inst sched
         | Nonpreemptive, Exact -> (
             match Ccs_exact.Bnb.solve inst with
             | Some (opt, sched) ->
                 Printf.bprintf out "non-preemptive exact optimum: %d\n" opt;
-                if not quiet then print_nonpreemptive out inst sched
+                if not quiet then print_np out inst sched
             | None -> Printf.bprintf out "exact search out of budget\n"));
         0
         end
@@ -247,7 +349,7 @@ let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime =
           Printf.bprintf err "error: N-fold node budget exhausted\n";
           1)
 
-let run files variant algo epsilon quiet jobs deadline_ms anytime obs =
+let run files variant algo epsilon quiet jobs deadline_ms anytime format compress obs =
   Obs_cli.with_reporting obs @@ fun () ->
   if jobs < 1 then begin
     Printf.eprintf "error: --jobs must be >= 1\n";
@@ -261,7 +363,10 @@ let run files variant algo epsilon quiet jobs deadline_ms anytime obs =
         (fun file ->
           let out = Buffer.create 256 and err = Buffer.create 64 in
           if many then Printf.bprintf out "=== %s ===\n" file;
-          let code = solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime in
+          let code =
+            solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime
+              ~format ~compress
+          in
           (out, err, code))
         (Array.of_list files)
     in
@@ -305,9 +410,25 @@ let cmd =
                ~doc:"Use the degradation ladder even without a deadline ($(b,--algo) picks \
                      the starting rung).")
   in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("flat", `Flat) ]) `Text
+           & info [ "format" ] ~docv:"FMT"
+               ~doc:"Solver pipeline: $(b,text) runs on the boxed record form, \
+                     $(b,flat) runs the 2-approximations directly on the flat \
+                     int-array form (same output bit-for-bit, built for \
+                     million-job instances). Input files are auto-detected \
+                     (text or ccsb1 binary) regardless of $(docv).")
+  in
+  let compress =
+    Arg.(value & flag
+           & info [ "compress" ]
+               ~doc:"Run-length-compressed schedule output: per-machine class \
+                     totals with identical consecutive machines collapsed, so \
+                     printing costs O(machines) lines instead of O(jobs).")
+  in
   let info = Cmd.info "ccs_solve" ~doc:"Solve Class Constrained Scheduling instances" in
   Cmd.v info
     Term.(const run $ files $ variant $ algo $ epsilon $ quiet $ jobs $ deadline_ms $ anytime
-          $ Obs_cli.term)
+          $ format $ compress $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

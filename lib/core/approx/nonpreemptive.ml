@@ -97,3 +97,143 @@ let solve_with_counter ?(use_lpt = true) ~counter inst =
   end
 
 let solve inst = solve_with_counter ~counter:cu inst
+
+let m_flat_solves = Ccs_obs.Metrics.counter "approx.flat_solves"
+    ~help:"2-approximation solves run directly on the flat representation"
+
+(* Flat fast path. Same algorithm, same answers, different plumbing: each
+   class's job indices are sorted once by (p descending, index ascending)
+   into a CSR segment, so a feasibility probe classifies jobs against T by
+   scanning its segment — no per-probe sorting, no allocation (the big/mid
+   scratch arrays are reused across probes) — and the final LPT split
+   consumes the presorted segment directly. The probe's value sequences
+   (bigs ascending, mids descending) are exactly the ones the list-based
+   [cu] builds, and the LPT placement order matches [Lpt.split]'s stable
+   sort, so [solve_flat (Instance.to_flat i)] is bit-identical to
+   [solve i]. O(n log n) once, O(n) per probe, O(log ub) probes. *)
+let solve_flat fl =
+  if not (Instance.Flat.schedulable fl) then
+    invalid_arg "Approx.Nonpreemptive.solve: C > c*m, no schedule exists";
+  Ccs_obs.Metrics.incr m_flat_solves;
+  Ccs_obs.Recorder.phase "approx" @@ fun () ->
+  let n = Instance.Flat.n fl in
+  let m = Instance.Flat.m fl in
+  if m >= n then begin
+    (* One machine per job is optimal (makespan pmax = LB). *)
+    let sched = Array.init n (fun j -> j) in
+    (sched, { t_guess = Instance.Flat.pmax fl; probes = 0 })
+  end
+  else begin
+    let loads = Instance.Flat.class_load fl in
+    let classes = Instance.Flat.num_classes fl in
+    let offsets, ids = Instance.Flat.class_jobs_csr fl in
+    let job_p = Instance.Flat.job_p fl in
+    (* Job ids per class, sorted by (p desc, index asc) — the order
+       [Lpt.split]'s stable sort produces from the index-ascending lists. *)
+    let sid = Array.copy ids in
+    for u = 0 to classes - 1 do
+      let lo = offsets.(u) and hi = offsets.(u + 1) in
+      if hi - lo > 1 then begin
+        let seg = Array.sub sid lo (hi - lo) in
+        Array.sort
+          (fun a b ->
+            let pa = job_p a and pb = job_p b in
+            if pa <> pb then compare pb pa else compare a b)
+          seg;
+        Array.blit seg 0 sid lo (hi - lo)
+      end
+    done;
+    let sp = Array.map job_p sid in
+    (* Scratch for one class's big/mid sizes, reused across probes. *)
+    let bigs = Array.make n 0 and mids = Array.make n 0 in
+    let cu_cls ~t u =
+      let lo = offsets.(u) and hi = offsets.(u + 1) in
+      (* The segment is size-descending, so the bigs land in [bigs] in
+         descending order (read backwards for the ascending two-pointer)
+         and the mids in descending order, exactly the sequences the
+         list-based [cu_large] sorts into. *)
+      let nb = ref 0 and nm = ref 0 in
+      for i = lo to hi - 1 do
+        let p = Array.unsafe_get sp i in
+        if 2 * p > t then begin
+          Array.unsafe_set bigs !nb p;
+          incr nb
+        end
+        else if 3 * p > t then begin
+          Array.unsafe_set mids !nm p;
+          incr nm
+        end
+      done;
+      let bi = ref (!nb - 1) and mi = ref 0 and lu = ref 0 in
+      while !mi < !nm do
+        if !bi < 0 then begin
+          lu := !lu + (!nm - !mi);
+          mi := !nm
+        end
+        else if Array.unsafe_get bigs !bi + Array.unsafe_get mids !mi <= t then begin
+          decr bi;
+          incr mi
+        end
+        else begin
+          incr lu;
+          incr mi
+        end
+      done;
+      let c2 = !nb + ((!lu + 1) / 2) in
+      let c1 = (loads.(u) + t - 1) / t in
+      max c1 c2
+    in
+    let cap = Border_search.slot_cap ~machines:m ~slots:(Instance.Flat.c fl) in
+    let probes = ref 0 in
+    let feasible t =
+      Ccs_resil.Deadline.check chk_probe;
+      incr probes;
+      let count = ref 0 in
+      try
+        for u = 0 to classes - 1 do
+          count := !count + cu_cls ~t u;
+          if !count > cap then raise Exit
+        done;
+        true
+      with Exit -> false
+    in
+    let total = Instance.Flat.total_load fl in
+    let lb = max (Instance.Flat.pmax fl) ((total + m - 1) / m) in
+    let ub = max lb (Array.fold_left max 0 loads) in
+    let lo = ref lb and hi = ref ub in
+    if not (feasible ub) then
+      invalid_arg "Approx.Nonpreemptive.solve: unschedulable at the upper bound";
+    while !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if feasible mid then hi := mid else lo := mid + 1
+    done;
+    let t = !lo in
+    (* LPT over each presorted segment, replicating [Lpt.split]'s
+       first-minimum bin scan and reversed per-bin placement order. *)
+    let items = ref [] in
+    for u = 0 to classes - 1 do
+      let lo_u = offsets.(u) and hi_u = offsets.(u + 1) in
+      let bins = cu_cls ~t u in
+      let load = Array.make bins 0 in
+      let content = Array.make bins [] in
+      for i = lo_u to hi_u - 1 do
+        let best = ref 0 in
+        for k = 1 to bins - 1 do
+          if load.(k) < load.(!best) then best := k
+        done;
+        content.(!best) <- sid.(i) :: content.(!best);
+        load.(!best) <- load.(!best) + sp.(i)
+      done;
+      Array.iteri
+        (fun k part -> if part <> [] then items := (load.(k), part) :: !items)
+        content
+    done;
+    let sorted = List.stable_sort (fun (a, _) (b, _) -> compare b a) (List.rev !items) in
+    let per_machine = Round_robin.assign ~machines:m sorted in
+    let assignment = Array.make n (-1) in
+    Array.iteri
+      (fun machine items ->
+        List.iter (fun (_, jobs) -> List.iter (fun j -> assignment.(j) <- machine) jobs) items)
+      per_machine;
+    (assignment, { t_guess = t; probes = !probes })
+  end

@@ -27,6 +27,12 @@ val cu_area_only : t:int -> int list -> int
 
 val solve : Instance.t -> Schedule.nonpreemptive * stats
 
+(** Same algorithm directly on the flat representation, with presorted
+    per-class views so a feasibility probe allocates nothing and the whole
+    solve is O(n log n + n log ub). Bit-identical to [solve] on the
+    converted instance. *)
+val solve_flat : Instance.Flat.t -> Schedule.nonpreemptive * stats
+
 (** Ablation hook: same algorithm but with a caller-supplied sub-class
     counter (e.g. {!cu_area_only} for ablation A2) — demonstrating that the
     careful [C2_u] computation matters. [~use_lpt:false] additionally

@@ -6,28 +6,29 @@ type stats = { t_guess : Q.t; probes : int; repacked : bool }
    their total. *)
 type item = { size : Q.t; frags : (int * Q.t) list }
 
-let solve inst =
-  if not (Instance.schedulable inst) then
-    invalid_arg "Approx.Preemptive.solve: C > c*m, no schedule exists";
-  let n = Instance.n inst in
-  let m = Instance.m inst in
+let m_flat_solves = Ccs_obs.Metrics.counter "approx.flat_solves"
+    ~help:"2-approximation solves run directly on the flat representation"
+
+(* Shared core: both front-ends present jobs through [job_p] and
+   [iter_cls] (job indices of a class in increasing order), so the record
+   and flat paths traverse identical data in identical order and emit
+   bit-identical schedules. *)
+let solve_on ~n ~machines:m ~slots ~loads ~total_load ~pmax ~job_p ~iter_cls =
   if m >= n then begin
     (* One machine per job: makespan pmax = LB, an optimal schedule. *)
     let sched =
       Array.init n (fun j ->
-          [ { Schedule.pjob = j; start = Q.zero; len = Q.of_int (Instance.job inst j).Instance.p } ])
+          [ { Schedule.pjob = j; start = Q.zero; len = Q.of_int (job_p j) } ])
     in
-    (sched, { t_guess = Q.of_int (Instance.pmax inst); probes = 0; repacked = false })
+    (sched, { t_guess = Q.of_int pmax; probes = 0; repacked = false })
   end
   else begin
-    let loads = Instance.class_load inst in
-    let lb = Bounds.lb_preemptive inst in
+    let lb = Bounds.lb_preemptive_of ~total_load ~machines:m ~pmax in
     let { Border_search.t_star = t; probes } =
-      Border_search.search ~loads ~machines:m ~slots:(Instance.c inst) ~lb
+      Border_search.search ~loads ~machines:m ~slots ~lb
     in
     (* Cut each large class's job concatenation at multiples of T. Because
        T >= pmax, a job is cut at most once. *)
-    let class_jobs = Instance.class_jobs inst in
     let items = ref [] in
     let any_split = ref false in
     Array.iteri
@@ -43,9 +44,8 @@ let solve inst =
               current_size := Q.zero
             end
           in
-          List.iter
-            (fun j ->
-              let remaining = ref (Q.of_int (Instance.job inst j).Instance.p) in
+          iter_cls u (fun j ->
+              let remaining = ref (Q.of_int (job_p j)) in
               while Q.sign !remaining > 0 do
                 let room = Q.sub t !current_size in
                 let take = Q.min room !remaining in
@@ -53,15 +53,13 @@ let solve inst =
                 current_size := Q.add !current_size take;
                 remaining := Q.sub !remaining take;
                 if Q.(Q.sub t !current_size = Q.zero) then flush ()
-              done)
-            class_jobs.(u);
+              done);
           flush ()
         end
         else begin
-          let frags =
-            List.map (fun j -> (j, Q.of_int (Instance.job inst j).Instance.p)) class_jobs.(u)
-          in
-          items := { size = pu_q; frags } :: !items
+          let frags = ref [] in
+          iter_cls u (fun j -> frags := (j, Q.of_int (job_p j)) :: !frags);
+          items := { size = pu_q; frags = List.rev !frags } :: !items
         end)
       loads;
     (* Stable sort on the build order keeps same-class slices consecutive
@@ -90,3 +88,28 @@ let solve inst =
     in
     (sched, { t_guess = t; probes; repacked = repack })
   end
+
+let solve inst =
+  if not (Instance.schedulable inst) then
+    invalid_arg "Approx.Preemptive.solve: C > c*m, no schedule exists";
+  let class_jobs = Instance.class_jobs inst in
+  solve_on ~n:(Instance.n inst) ~machines:(Instance.m inst) ~slots:(Instance.c inst)
+    ~loads:(Instance.class_load inst) ~total_load:(Instance.total_load inst)
+    ~pmax:(Instance.pmax inst)
+    ~job_p:(fun j -> (Instance.job inst j).Instance.p)
+    ~iter_cls:(fun u f -> List.iter f class_jobs.(u))
+
+let solve_flat fl =
+  if not (Instance.Flat.schedulable fl) then
+    invalid_arg "Approx.Preemptive.solve: C > c*m, no schedule exists";
+  Ccs_obs.Metrics.incr m_flat_solves;
+  Ccs_obs.Recorder.phase "approx" @@ fun () ->
+  let offsets, ids = Instance.Flat.class_jobs_csr fl in
+  solve_on ~n:(Instance.Flat.n fl) ~machines:(Instance.Flat.m fl)
+    ~slots:(Instance.Flat.c fl) ~loads:(Instance.Flat.class_load fl)
+    ~total_load:(Instance.Flat.total_load fl) ~pmax:(Instance.Flat.pmax fl)
+    ~job_p:(Instance.Flat.job_p fl)
+    ~iter_cls:(fun u f ->
+      for k = offsets.(u) to offsets.(u + 1) - 1 do
+        f ids.(k)
+      done)

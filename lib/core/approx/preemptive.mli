@@ -18,3 +18,8 @@ type stats = {
 }
 
 val solve : Instance.t -> Schedule.preemptive * stats
+
+(** Same algorithm directly on the flat representation (CSR class views,
+    no per-job boxing on the way in). Bit-identical to [solve] on the
+    converted instance. *)
+val solve_flat : Instance.Flat.t -> Schedule.preemptive * stats

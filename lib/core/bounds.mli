@@ -5,9 +5,16 @@
     for Algorithm 1). *)
 val lb_splittable : Instance.t -> Rat.t
 
+(** Representation-free form of {!lb_splittable}, shared by the record and
+    flat solver paths. *)
+val lb_splittable_of : total_load:int -> machines:int -> Rat.t
+
 (** Preemptive / non-preemptive lower bound:
     [max (pmax, sum p_j / m)] (Theorems 5 and 6). *)
 val lb_preemptive : Instance.t -> Rat.t
+
+(** Representation-free form of {!lb_preemptive}. *)
+val lb_preemptive_of : total_load:int -> machines:int -> pmax:int -> Rat.t
 
 (** A valid class-slot-aware splittable lower bound: the smallest T such
     that splitting every class into [ceil (P_u / T)] sub-classes fits in

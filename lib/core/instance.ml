@@ -29,6 +29,137 @@ let make ~machines ~slots jobs =
   in
   { jobs; machines; slots = min slots classes; classes }
 
+module Flat = struct
+  module A1 = Bigarray.Array1
+
+  type arr = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+
+  type t = { p : arr; cls : arr; machines : int; slots : int; classes : int }
+
+  let n t = A1.dim t.p
+  let m t = t.machines
+  let c t = t.slots
+  let num_classes t = t.classes
+  let job_p t i = A1.unsafe_get t.p i
+  let job_cls t i = A1.unsafe_get t.cls i
+
+  (* Dense renumbering in place, with the same mapping as [make]: distinct
+     original ids sorted ascending map to 0, 1, ... Returns the class
+     count. O(n + C log C), no per-job boxing. *)
+  let renumber (cls : arr) =
+    let n = A1.dim cls in
+    let seen = Hashtbl.create 1024 in
+    for i = 0 to n - 1 do
+      let u = A1.unsafe_get cls i in
+      if not (Hashtbl.mem seen u) then Hashtbl.add seen u ()
+    done;
+    let ids = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+    let ids = List.sort compare ids in
+    let mapping = Hashtbl.create (Hashtbl.length seen) in
+    List.iteri (fun dense orig -> Hashtbl.replace mapping orig dense) ids;
+    for i = 0 to n - 1 do
+      A1.unsafe_set cls i (Hashtbl.find mapping (A1.unsafe_get cls i))
+    done;
+    List.length ids
+
+  (* Takes ownership of the arrays (classes are renumbered in place). *)
+  let of_bigarrays ~machines ~slots ~(p : arr) ~(cls : arr) =
+    let n = A1.dim p in
+    if n = 0 then invalid_arg "Instance.Flat: no jobs";
+    if A1.dim cls <> n then invalid_arg "Instance.Flat: p/cls length mismatch";
+    if machines <= 0 then invalid_arg "Instance.Flat: machines must be positive";
+    if slots <= 0 then invalid_arg "Instance.Flat: slots must be positive";
+    for i = 0 to n - 1 do
+      if A1.unsafe_get p i <= 0 then
+        invalid_arg "Instance.Flat: processing times must be positive";
+      if A1.unsafe_get cls i < 0 then
+        invalid_arg "Instance.Flat: classes must be non-negative"
+    done;
+    let classes = renumber cls in
+    { p; cls; machines; slots = min slots classes; classes }
+
+  let of_arrays ~machines ~slots ~p ~cls =
+    let n = Array.length p in
+    if Array.length cls <> n then invalid_arg "Instance.Flat: p/cls length mismatch";
+    let pa = A1.create Bigarray.int Bigarray.c_layout n in
+    let ca = A1.create Bigarray.int Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      A1.unsafe_set pa i (Array.unsafe_get p i);
+      A1.unsafe_set ca i (Array.unsafe_get cls i)
+    done;
+    of_bigarrays ~machines ~slots ~p:pa ~cls:ca
+
+  let total_load t =
+    let acc = ref 0 in
+    for i = 0 to n t - 1 do
+      acc := !acc + A1.unsafe_get t.p i
+    done;
+    !acc
+
+  let pmax t =
+    let acc = ref 0 in
+    for i = 0 to n t - 1 do
+      let p = A1.unsafe_get t.p i in
+      if p > !acc then acc := p
+    done;
+    !acc
+
+  let class_load t =
+    let loads = Array.make t.classes 0 in
+    for i = 0 to n t - 1 do
+      let u = A1.unsafe_get t.cls i in
+      Array.unsafe_set loads u (Array.unsafe_get loads u + A1.unsafe_get t.p i)
+    done;
+    loads
+
+  (* CSR view: [offsets] has [classes + 1] entries; the job indices of class
+     [u], in increasing index order, are [ids.(offsets.(u)) ..
+     ids.(offsets.(u+1) - 1)]. One O(n) counting pass, no per-class lists. *)
+  let class_jobs_csr t =
+    let nn = n t in
+    let offsets = Array.make (t.classes + 1) 0 in
+    for i = 0 to nn - 1 do
+      let u = A1.unsafe_get t.cls i in
+      offsets.(u + 1) <- offsets.(u + 1) + 1
+    done;
+    for u = 1 to t.classes do
+      offsets.(u) <- offsets.(u) + offsets.(u - 1)
+    done;
+    let ids = Array.make nn 0 in
+    let cursor = Array.sub offsets 0 t.classes in
+    for i = 0 to nn - 1 do
+      let u = A1.unsafe_get t.cls i in
+      ids.(cursor.(u)) <- i;
+      cursor.(u) <- cursor.(u) + 1
+    done;
+    (offsets, ids)
+
+  let schedulable t = t.machines >= (t.classes + t.slots - 1) / t.slots
+
+  (* Heap-external footprint of the two Bigarrays, for the XL memory gate. *)
+  let mem_bytes t = 8 * (A1.dim t.p + A1.dim t.cls)
+end
+
+let to_flat t =
+  let n = Array.length t.jobs in
+  let p = Flat.A1.create Bigarray.int Bigarray.c_layout n in
+  let cls = Flat.A1.create Bigarray.int Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    let j = Array.unsafe_get t.jobs i in
+    Flat.A1.unsafe_set p i j.p;
+    Flat.A1.unsafe_set cls i j.cls
+  done;
+  { Flat.p; cls; machines = t.machines; slots = t.slots; classes = t.classes }
+
+(* The flat invariants (dense classes, clamped slots, positive sizes) mirror
+   [make]'s, so the record can be rebuilt directly — no revalidation pass. *)
+let of_flat (f : Flat.t) =
+  let n = Flat.n f in
+  let jobs =
+    Array.init n (fun i -> { p = Flat.job_p f i; cls = Flat.job_cls f i })
+  in
+  { jobs; machines = f.Flat.machines; slots = f.Flat.slots; classes = f.Flat.classes }
+
 let n t = Array.length t.jobs
 let m t = t.machines
 let c t = t.slots

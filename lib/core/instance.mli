@@ -48,3 +48,61 @@ val schedulable : t -> bool
 val encoding_length : t -> int
 
 val pp : Format.formatter -> t -> unit
+
+(** Compact flat representation for million-job instances: processing times
+    and classes live in two off-heap [Bigarray]s (16 bytes per job, never
+    scanned by the GC) instead of an array of boxed records. The invariants
+    are the same as the record form's — classes dense in [0, classes),
+    slots clamped to [min slots classes], positive processing times — so
+    {!to_flat}/{!of_flat} are exact O(n) inverses and every solver accepting
+    either form produces bit-identical output. *)
+module Flat : sig
+  type arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = private {
+    p : arr;
+    cls : arr;
+    machines : int;
+    slots : int;
+    classes : int;
+  }
+
+  val n : t -> int
+  val m : t -> int
+  val c : t -> int
+  val num_classes : t -> int
+  val job_p : t -> int -> int
+  val job_cls : t -> int -> int
+
+  (** Build from parallel arrays, validating and renumbering classes densely
+      exactly as {!Instance.make} does (distinct original ids, sorted
+      ascending, map to 0, 1, ...). Raises [Invalid_argument] like [make]. *)
+  val of_arrays : machines:int -> slots:int -> p:int array -> cls:int array -> t
+
+  (** Like {!of_arrays} but takes ownership of the Bigarrays — the class
+      array is renumbered in place, no copy. This is the streaming parser's
+      zero-copy entry point. *)
+  val of_bigarrays : machines:int -> slots:int -> p:arr -> cls:arr -> t
+
+  val total_load : t -> int
+  val pmax : t -> int
+
+  (** Accumulated per-class loads [P_u], as in {!Instance.class_load}. *)
+  val class_load : t -> int array
+
+  (** [(offsets, ids)]: the job indices of class [u] in increasing order are
+      [ids.(offsets.(u)) .. ids.(offsets.(u+1) - 1)]. One counting pass,
+      O(n) ints, no per-class list cells. *)
+  val class_jobs_csr : t -> int array * int array
+
+  (** True iff any schedule exists at all: C <= c * m. *)
+  val schedulable : t -> bool
+
+  (** Off-heap bytes held by the two Bigarrays (16 per job). *)
+  val mem_bytes : t -> int
+end
+
+(** O(n) conversions between the two forms; exact inverses. *)
+val to_flat : t -> Flat.t
+
+val of_flat : Flat.t -> t

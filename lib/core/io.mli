@@ -1,15 +1,43 @@
-(** Plain-text instance serialization, for the CLI tools and examples.
+(** Instance serialization, for the CLI tools and examples.
 
-    Format (one token group per line, '#' comments allowed):
+    Text format (one token group per line, '#' comments allowed):
     {v
       ccs 1
       machines <m>
       slots <c>
       job <p> <class>
       ...
-    v} *)
+    v}
+
+    Both text front-ends — {!of_string} and the channel loaders — run the
+    same incremental tokenizer, so they accept exactly the same inputs and
+    report exactly the same errors. The streaming path never materializes
+    the whole file: bytes are consumed in fixed-size chunks and job fields
+    land directly in the flat arrays.
+
+    There is also a binary flat format (magic ["ccsb1\n"], int64
+    little-endian header [n, machines, slots] followed by the [p] and [cls]
+    arrays) that loads a million-job instance with two bulk reads. {!load}
+    and {!load_flat} auto-detect the format by sniffing the magic. *)
 
 val to_string : Instance.t -> string
+val to_string_flat : Instance.Flat.t -> string
+
 val of_string : string -> (Instance.t, string) result
+
+(** Parse text into the flat form without building any boxed records.
+    [chunk] (default 64 KiB) sets the tokenizer's buffer size — tests use
+    tiny chunks to exercise tokens split across boundaries. *)
+val of_string_flat : ?chunk:int -> string -> (Instance.Flat.t, string) result
+
+(** Stream an instance from an open channel, auto-detecting binary vs text
+    by the leading magic. The channel must be in binary mode. *)
+val parse_channel : ?chunk:int -> in_channel -> (Instance.Flat.t, string) result
+
 val load : string -> (Instance.t, string) result
+val load_flat : string -> (Instance.Flat.t, string) result
+
 val save : string -> Instance.t -> unit
+
+(** Write the binary flat format. *)
+val save_flat : string -> Instance.Flat.t -> unit

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Whitespace lint over the source tree: no trailing whitespace, no tab
-# characters, final newline present; OCaml sources and dune files must
-# additionally use LF line endings and not end in blank lines. This is
-# the *enforcing* half of the format gate — the ocamlformat job proper
-# stays advisory until the tree has been bulk-formatted (see
+# characters, final newline present; OCaml sources, dune files, shell
+# scripts (scripts/, bench/) and workflow YAML must additionally use LF
+# line endings, and OCaml/dune/shell files must not end in blank lines.
+# This is the *enforcing* half of the format gate — the ocamlformat job
+# proper stays advisory until the tree has been bulk-formatted (see
 # .github/workflows/ci.yml). Generated and third-party reference files
 # (PAPERS.md, SNIPPETS.md) are exempt.
 set -eu
@@ -34,16 +35,22 @@ for f in $(git ls-files '*.ml' '*.mli' '*.yml' '*.sh' 'dune-project' '*dune' \
     echo "missing final newline: $f"
     status=1
   fi
-  # OCaml sources and dune files: strict LF endings, no blank line at EOF
-  # (both survive careless editors and break the dune diff-based promotion
+  # OCaml sources, dune files, shell scripts and workflow YAML: strict LF
+  # endings (CRs break shebang lines and the streaming-parser cram goldens);
+  # everything but YAML additionally rejects a blank line at EOF (it
+  # survives careless editors and breaks the dune diff-based promotion
   # workflow in subtle ways).
   case "$f" in
-    *.ml|*.mli|*/dune|dune|dune-project)
+    *.ml|*.mli|*/dune|dune|dune-project|*.sh|*.yml)
       if grep -n "$CR" "$f" /dev/null >/dev/null 2>&1; then
         echo "CR line ending in $f:"
         grep -n "$CR" "$f" | head -3
         status=1
       fi
+      ;;
+  esac
+  case "$f" in
+    *.ml|*.mli|*/dune|dune|dune-project|*.sh)
       if [ -s "$f" ] && [ "$(tail -c2 "$f" | wc -l)" -ge 2 ]; then
         echo "trailing blank line at end of $f"
         status=1
