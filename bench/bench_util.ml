@@ -10,6 +10,7 @@ let fam_name = function
   | Heavy_classes -> "heavy"
   | Large_jobs -> "large"
   | Lp_stress -> "lp-stress"
+  | Bnb_stress -> "bnb-stress"
 
 let families = Ccs.Generator.[ Uniform; Zipf; Heavy_classes; Large_jobs; Lp_stress ]
 

@@ -1,0 +1,92 @@
+(* EX — exact-search capability sweep (conflict-driven B&B + portfolio).
+
+   How large a near-perfect-partition instance can the exact layer close at
+   a fixed node budget? The bnb-stress family is the adversarial shape for
+   the search (all sizes in a narrow band around p_hi/2, round-robin
+   classes: the area bound is weak and the tree is deep), so the largest n
+   the search completes there is a conservative capability figure. Each
+   size runs the conflict-driven B&B alone and the full portfolio race at
+   the same budget; rows plus the resulting max_n_complete land in the
+   "exact_sweep" section of BENCH_timing.json (merged non-clobbering, like
+   xl_sweep). The per-size node counts are deterministic, so a search
+   regression (weaker pruning, lost no-goods) moves this table even on a
+   noisy machine. *)
+
+module U = Bench_util
+module J = Ccs_obs.Jsonx
+module T = Ccs_util.Tables
+
+let node_budget = 1_000_000
+let sizes = [ 10; 12; 14; 16; 18; 20; 22; 24 ]
+
+let spec n =
+  { Ccs.Generator.n; classes = 4; machines = 4; slots = 2; p_lo = 1; p_hi = 100;
+    family = Ccs.Generator.Bnb_stress }
+
+let ex () =
+  U.header "EX — exact capability sweep (bnb-stress, fixed node budget)";
+  let table = T.create [ "n"; "bnb"; "nodes"; "wall"; "portfolio"; "winner" ] in
+  (* capability frontier: largest n with every size up to it closed, so one
+     hard middle size (the near-partition wall) caps the figure even if
+     easier larger sizes happen to finish *)
+  let frontier_open = ref true in
+  let max_complete = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let inst = Ccs.Generator.generate ~seed:1234 (spec n) in
+        let (bnb, bnb_wall), portfolio_of =
+          ( U.time (fun () -> Ccs_exact.Bnb.solve_result ~node_limit:node_budget inst),
+            fun () -> Ccs_exact.Portfolio.solve ~node_limit:node_budget inst )
+        in
+        let r = Option.get bnb in
+        let complete = r.Ccs_exact.Bnb.status = Ccs_exact.Bnb.Complete in
+        if complete && !frontier_open then max_complete := n
+        else if not complete then frontier_open := false;
+        let o, port_wall = U.time portfolio_of in
+        let o = Option.get o in
+        T.add_row table
+          [ string_of_int n;
+            (if complete then Printf.sprintf "opt %d" r.Ccs_exact.Bnb.makespan
+             else Printf.sprintf "inc %d/lb %d" r.Ccs_exact.Bnb.makespan
+                    r.Ccs_exact.Bnb.lower_bound);
+            string_of_int r.Ccs_exact.Bnb.nodes;
+            Printf.sprintf "%.3f s" bnb_wall;
+            (if o.Ccs_exact.Portfolio.proved then
+               Printf.sprintf "opt %d" o.Ccs_exact.Portfolio.makespan
+             else "abstained");
+            o.Ccs_exact.Portfolio.winner ]
+          ;
+        J.Obj
+          [ ("n", J.Int n);
+            ("bnb_complete", J.Bool complete);
+            ("bnb_nodes", J.Int r.Ccs_exact.Bnb.nodes);
+            ("bnb_makespan", J.Int r.Ccs_exact.Bnb.makespan);
+            ("bnb_lower_bound", J.Int r.Ccs_exact.Bnb.lower_bound);
+            ("bnb_wall_s", J.Float (U.round9 bnb_wall));
+            ("portfolio_proved", J.Bool o.Ccs_exact.Portfolio.proved);
+            ("portfolio_winner", J.Str o.Ccs_exact.Portfolio.winner);
+            ("portfolio_wall_s", J.Float (U.round9 port_wall)) ])
+      sizes
+  in
+  let sweep =
+    J.Obj
+      [ ("family", J.Str "bnb-stress");
+        ("node_budget", J.Int node_budget);
+        ("max_n_complete", J.Int !max_complete);
+        ("rows", J.List rows) ]
+  in
+  let path = "BENCH_timing.json" in
+  let existing =
+    if Sys.file_exists path then
+      match J.of_string (In_channel.with_open_text path In_channel.input_all) with
+      | Ok (J.Obj kvs) -> List.filter (fun (k, _) -> k <> "exact_sweep") kvs
+      | _ -> []
+    else []
+  in
+  U.write_json path (J.Obj (existing @ [ ("exact_sweep", sweep) ]));
+  T.print table;
+  U.footnote
+    (Printf.sprintf
+       "wrote %s exact_sweep (budget %d nodes, largest bnb-stress size closed: n=%d)"
+       path node_budget !max_complete)

@@ -69,6 +69,17 @@ let xl_phases () =
        fun () -> ignore (Ccs.Approx.Nonpreemptive.solve_flat (Lazy.force xl_instance)))
     ]
 
+(* The conflict-driven B&B's gate workload: a bnb-stress instance sized so
+   the search visits ~90k nodes (~0.1 s), enough to exercise no-good
+   learning, probing and a few Luby restarts. The node count is exact and
+   machine-independent, so the counter side of the gate catches a weakened
+   search (lost no-goods, broken symmetry breaking) even where the wall
+   would hide in noise. *)
+let exact_instance =
+  Ccs.Generator.generate ~seed:1234
+    { Ccs.Generator.n = 18; classes = 4; machines = 4; slots = 2; p_lo = 1;
+      p_hi = 100; family = Ccs.Generator.Bnb_stress }
+
 (* The E5 shape, sized so every phase takes a few milliseconds at least —
    sub-millisecond phases would drown a 25% gate in scheduler noise — while
    the whole gate still runs in seconds. The approximation algorithms repeat
@@ -87,7 +98,9 @@ let phases =
     ("ptas_splittable",
      times 20 (fun () -> ignore (Ccs.Ptas.Splittable_ptas.solve param small)));
     ("ptas_nonpreemptive",
-     times 50 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)))
+     times 50 (fun () -> ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small)));
+    ("exact_bnb",
+     fun () -> ignore (Ccs_exact.Bnb.solve_result exact_instance))
   ]
   @ xl_phases ()
 
@@ -124,7 +137,12 @@ let measure () = List.map (fun (name, f) -> (name, time_phase f)) phases
    noisy wall), and rat.promotions guards the small-int fast path (a single
    careless magnitude blow-up sends the hot numbers to the Bigint arm). *)
 let counter_names =
-  [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks" ]
+  [ "lp.phase1_iterations"; "rat.promotions"; "resil.cancel_checks";
+    (* exact-search effort on the fixed bnb-stress instance: nodes is the
+       headline capability number, the others break a node regression down
+       (store too small, probing disabled, restarts misfiring) *)
+    "bnb.nodes"; "bnb.nogoods"; "bnb.nogood_hits"; "bnb.probe_failed";
+    "bnb.restarts" ]
   @
   (* XL counters are exact and machine-independent too: the token count
      pins the streaming lexer's behavior on a fixed 10^6-job file, the
@@ -146,6 +164,7 @@ let measure_counters () =
   Ccs_resil.Deadline.reset_stats ();
   ignore (Ccs.Ptas.Splittable_ptas.solve param small);
   ignore (Ccs.Ptas.Nonpreemptive_ptas.solve param small);
+  ignore (Ccs_exact.Bnb.solve_result exact_instance);
   if xl_enabled then begin
     let fl = Lazy.force xl_instance in
     (match Ccs.Io.of_string_flat (Lazy.force xl_text) with

@@ -16,7 +16,7 @@ let experiments =
     ("E4", Exp_search.e4); ("E5", Exp_timing.e5); ("E6", Exp_ptas.e6);
     ("E7", Exp_ptas.e7); ("E8", Exp_ptas.e8); ("E9", Exp_nfold.e9);
     ("A1", Exp_search.a1); ("A2", Exp_ablation.a2_a3); ("X1", Exp_ext.x1);
-    ("XL", Exp_xl.xl);
+    ("XL", Exp_xl.xl); ("EX", Exp_exact.ex);
     ("F1", Exp_figures.f1);
     ("F2", Exp_figures.f2); ("F3", Exp_figures.f3); ("F4", Exp_figures.f4);
     ("F5", Exp_figures.f5) ]

@@ -17,9 +17,10 @@ let family_conv =
     | "heavy" -> Ok Ccs.Generator.Heavy_classes
     | "large" -> Ok Ccs.Generator.Large_jobs
     | "lp-stress" -> Ok Ccs.Generator.Lp_stress
+    | "bnb-stress" -> Ok Ccs.Generator.Bnb_stress
     | s ->
         Error
-          (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large|lp-stress)" s))
+          (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large|lp-stress|bnb-stress)" s))
   in
   let print fmt f =
     Format.pp_print_string fmt
@@ -28,7 +29,8 @@ let family_conv =
       | Zipf -> "zipf"
       | Heavy_classes -> "heavy"
       | Large_jobs -> "large"
-      | Lp_stress -> "lp-stress")
+      | Lp_stress -> "lp-stress"
+      | Bnb_stress -> "bnb-stress")
   in
   Arg.conv (parse, print)
 
@@ -37,7 +39,8 @@ let family_conv =
    deadlines and seeded fault injection and demand a valid schedule or a
    clean Degraded value from every run. Sequential by design — see
    Ccs_check.Chaos. *)
-let run_chaos seed count epsilon max_n deadline_ms faults cancel_ppm raise_ppm delay_ppm verbose =
+let run_chaos seed count epsilon max_n family deadline_ms faults cancel_ppm raise_ppm delay_ppm
+    portfolio verbose =
   let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
   let config =
     {
@@ -51,6 +54,8 @@ let run_chaos seed count epsilon max_n deadline_ms faults cancel_ppm raise_ppm d
       cancel_ppm;
       raise_ppm;
       delay_ppm;
+      family;
+      portfolio;
     }
   in
   let report = Ccs_check.Chaos.run config in
@@ -73,7 +78,7 @@ let run_chaos seed count epsilon max_n deadline_ms faults cancel_ppm raise_ppm d
   if nfail = 0 then 0 else 1
 
 let run seed count epsilon jobs max_n family no_metamorphic no_shrink verbose deadline_ms faults
-    cancel_ppm raise_ppm delay_ppm obs =
+    cancel_ppm raise_ppm delay_ppm portfolio obs =
   Obs_cli.with_reporting obs @@ fun () ->
   if jobs < 1 then begin
     Printf.eprintf "error: --jobs must be >= 1\n";
@@ -84,7 +89,8 @@ let run seed count epsilon jobs max_n family no_metamorphic no_shrink verbose de
     2
   end
   else if faults || deadline_ms <> None then
-    run_chaos seed count epsilon max_n deadline_ms faults cancel_ppm raise_ppm delay_ppm verbose
+    run_chaos seed count epsilon max_n family deadline_ms faults cancel_ppm raise_ppm delay_ppm
+      portfolio verbose
   else begin
     Ccs_par.set_jobs jobs;
     let d = max 1 (int_of_float (ceil (1.0 /. epsilon))) in
@@ -140,7 +146,8 @@ let cmd =
     Arg.(value & opt (some family_conv) None
            & info [ "family" ]
                ~doc:"Pin every instance to one workload family (uniform, zipf, heavy, \
-                     large or lp-stress) instead of drawing it per index.")
+                     large, lp-stress or bnb-stress) instead of drawing it per index. \
+                     Applies to the differential oracle and to chaos mode.")
   in
   let deadline_ms =
     Arg.(value & opt (some int) None
@@ -158,6 +165,12 @@ let cmd =
   let cancel_ppm = Arg.(value & opt int 1000 & info [ "cancel-ppm" ] ~doc:"Per-million cancel probability per checkpoint (with --faults).") in
   let raise_ppm = Arg.(value & opt int 500 & info [ "raise-ppm" ] ~doc:"Per-million synthetic-crash probability per checkpoint (with --faults).") in
   let delay_ppm = Arg.(value & opt int 500 & info [ "delay-ppm" ] ~doc:"Per-million latency-injection probability per checkpoint (with --faults).") in
+  let portfolio =
+    Arg.(value & flag
+           & info [ "portfolio" ]
+               ~doc:"Chaos mode: the non-preemptive ladder's exact rung races the solver \
+                     portfolio (B&B, config-ILP, N-fold) instead of the lone branch & bound.")
+  in
   let no_metamorphic = Arg.(value & flag & info [ "no-metamorphic" ] ~doc:"Skip the metamorphic (scale/permute/add-machine) probes.") in
   let no_shrink = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report original instances instead of shrunk repros.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-solver solved/skipped tally.") in
@@ -176,6 +189,7 @@ let cmd =
   in
   Cmd.v info
     Term.(const run $ seed $ count $ epsilon $ jobs $ max_n $ family $ no_metamorphic $ no_shrink
-          $ verbose $ deadline_ms $ faults $ cancel_ppm $ raise_ppm $ delay_ppm $ Obs_cli.term)
+          $ verbose $ deadline_ms $ faults $ cancel_ppm $ raise_ppm $ delay_ppm $ portfolio
+          $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

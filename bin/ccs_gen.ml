@@ -9,9 +9,10 @@ let family_conv =
     | "heavy" -> Ok Ccs.Generator.Heavy_classes
     | "large" -> Ok Ccs.Generator.Large_jobs
     | "lp-stress" -> Ok Ccs.Generator.Lp_stress
+    | "bnb-stress" -> Ok Ccs.Generator.Bnb_stress
     | s ->
         Error
-          (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large|lp-stress)" s))
+          (`Msg (Printf.sprintf "unknown family %S (uniform|zipf|heavy|large|lp-stress|bnb-stress)" s))
   in
   let print fmt f =
     Format.pp_print_string fmt
@@ -20,7 +21,8 @@ let family_conv =
       | Zipf -> "zipf"
       | Heavy_classes -> "heavy"
       | Large_jobs -> "large"
-      | Lp_stress -> "lp-stress")
+      | Lp_stress -> "lp-stress"
+      | Bnb_stress -> "bnb-stress")
   in
   Arg.conv (parse, print)
 

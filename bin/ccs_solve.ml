@@ -169,7 +169,8 @@ let print_preemptive_compressed buf inst sched =
    starting at the requested algorithm's rung. A deadline never fails the
    run — it degrades it, and the degraded incumbent is validated and
    printed with its certified lower bound and ratio. *)
-let solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress =
+let solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress ~portfolio
+    ~node_limit =
   let module D = Ccs_anytime.Driver in
   let module O = Ccs_resil.Outcome in
   let start =
@@ -216,12 +217,12 @@ let solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress =
       finish "non-preemptive"
         (fun a -> Result.map Q.of_int (Ccs.Schedule.validate_nonpreemptive inst a))
         ((if compress then print_nonpreemptive_compressed else print_nonpreemptive) out inst)
-        (D.solve_nonpreemptive ?deadline ~start ~param inst)
+        (D.solve_nonpreemptive ?deadline ~start ~param ?node_limit ~portfolio inst)
 
 (* Solve one instance, accumulating stdout/stderr text into the buffers.
    Returns the exit code. *)
 let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime ~format
-    ~compress =
+    ~compress ~portfolio ~node_limit =
   (* Loading always streams into the flat form (text or binary is
      auto-detected); the record view is rebuilt for the solvers and
      validators that want it. --format flat routes the 2-approximations
@@ -242,7 +243,8 @@ let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime ~f
       let param = Ccs.Ptas.Common.param d in
       try
         if anytime || deadline_ms <> None then begin
-          solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress;
+          solve_anytime_one ~out inst variant algo param deadline_ms quiet ~compress
+            ~portfolio ~node_limit;
           0
         end
         else begin
@@ -330,12 +332,32 @@ let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime ~f
             Printf.bprintf out "non-preemptive PTAS (delta=1/%d): makespan %d (accepted T=%s)\n" d mk
               (Q.to_string stats.Ccs.Ptas.Nonpreemptive_ptas.t_accepted);
             if not quiet then print_np out inst sched
+        | Nonpreemptive, Exact when portfolio -> (
+            match Ccs_exact.Portfolio.solve ?node_limit inst with
+            | Some o when o.Ccs_exact.Portfolio.proved ->
+                Printf.bprintf out "non-preemptive exact optimum: %d (portfolio winner: %s)\n"
+                  o.Ccs_exact.Portfolio.makespan o.Ccs_exact.Portfolio.winner;
+                if not quiet then print_np out inst o.Ccs_exact.Portfolio.assignment
+            | Some o ->
+                (* Every member abstained: mirror the anytime Degraded
+                   contract — surface the incumbent plus the proven bound
+                   instead of dropping them. *)
+                Printf.bprintf out
+                  "exact search out of budget: incumbent %d, proven lower bound %d\n"
+                  o.Ccs_exact.Portfolio.makespan o.Ccs_exact.Portfolio.lower_bound;
+                if not quiet then print_np out inst o.Ccs_exact.Portfolio.assignment
+            | None -> Printf.bprintf out "instance is not schedulable\n")
         | Nonpreemptive, Exact -> (
-            match Ccs_exact.Bnb.solve inst with
-            | Some (opt, sched) ->
-                Printf.bprintf out "non-preemptive exact optimum: %d\n" opt;
-                if not quiet then print_np out inst sched
-            | None -> Printf.bprintf out "exact search out of budget\n"));
+            match Ccs_exact.Bnb.solve_result ?node_limit inst with
+            | Some { Ccs_exact.Bnb.status = Complete; makespan; assignment; _ } ->
+                Printf.bprintf out "non-preemptive exact optimum: %d\n" makespan;
+                if not quiet then print_np out inst assignment
+            | Some r ->
+                Printf.bprintf out
+                  "exact search out of budget: incumbent %d, proven lower bound %d\n"
+                  r.Ccs_exact.Bnb.makespan r.Ccs_exact.Bnb.lower_bound;
+                if not quiet then print_np out inst r.Ccs_exact.Bnb.assignment
+            | None -> Printf.bprintf out "instance is not schedulable\n"));
         0
         end
       with
@@ -349,7 +371,8 @@ let solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime ~f
           Printf.bprintf err "error: N-fold node budget exhausted\n";
           1)
 
-let run files variant algo epsilon quiet jobs deadline_ms anytime format compress obs =
+let run files variant algo epsilon quiet jobs deadline_ms anytime format compress portfolio
+    node_limit obs =
   Obs_cli.with_reporting obs @@ fun () ->
   if jobs < 1 then begin
     Printf.eprintf "error: --jobs must be >= 1\n";
@@ -365,7 +388,7 @@ let run files variant algo epsilon quiet jobs deadline_ms anytime format compres
           if many then Printf.bprintf out "=== %s ===\n" file;
           let code =
             solve_one ~out ~err file variant algo epsilon quiet ~deadline_ms ~anytime
-              ~format ~compress
+              ~format ~compress ~portfolio ~node_limit
           in
           (out, err, code))
         (Array.of_list files)
@@ -426,9 +449,25 @@ let cmd =
                      totals with identical consecutive machines collapsed, so \
                      printing costs O(machines) lines instead of O(jobs).")
   in
+  let portfolio =
+    Arg.(value & flag
+           & info [ "portfolio" ]
+               ~doc:"With $(b,--algo exact) (non-preemptive, plain or anytime): race \
+                     the conflict-driven branch & bound against an exact \
+                     configuration-ILP and an exact N-fold program on the $(b,--jobs) \
+                     pool. The first proof in fixed member order wins, so the answer \
+                     is bit-identical at any job count.")
+  in
+  let node_limit =
+    Arg.(value & opt (some int) None
+           & info [ "node-limit" ] ~docv:"N"
+               ~doc:"Node budget for the exact search (and the anytime exact rung). \
+                     When the budget runs out the incumbent and its proven lower \
+                     bound are reported instead of being discarded.")
+  in
   let info = Cmd.info "ccs_solve" ~doc:"Solve Class Constrained Scheduling instances" in
   Cmd.v info
     Term.(const run $ files $ variant $ algo $ epsilon $ quiet $ jobs $ deadline_ms $ anytime
-          $ format $ compress $ Obs_cli.term)
+          $ format $ compress $ portfolio $ node_limit $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -305,7 +305,7 @@ let solve_preemptive ?deadline ?(start = Exact) ?(param = Common.param 3) ?(node
   finish st ~base
 
 let solve_nonpreemptive ?deadline ?(start = Exact) ?(param = Common.param 3)
-    ?(node_limit = 200_000) ?(grace_ms = 25) inst =
+    ?(node_limit = 200_000) ?(portfolio = false) ?(grace_ms = 25) inst =
   check_schedulable "solve_nonpreemptive" inst;
   (* The optimum is integral, so the fractional load bound rounds up. *)
   let st = init (Q.of_bigint (Q.ceil (Bounds.lb_preemptive inst))) in
@@ -313,21 +313,36 @@ let solve_nonpreemptive ?deadline ?(start = Exact) ?(param = Common.param 3)
   let mk asg = Q.of_int (Schedule.nonpreemptive_makespan inst asg) in
   let step r tok =
     match r with
-    | Exact -> (
-        (* [solve_status] never raises on cancellation: the search
-           warm-starts from the 7/3 approximation, so even an interrupted
-           exact rung contributes a real incumbent. *)
+    | Exact when portfolio -> (
+        (* The race returns the lowest-index member's proof (deterministic
+           at any pool size); an unproved outcome still carries the
+           warm-start incumbent plus the root bound. *)
         match
           guard st (fun () ->
               Deadline.with_token tok (fun () ->
-                  Ccs_exact.Bnb.solve_status ~node_limit inst))
+                  Ccs_exact.Portfolio.solve ~node_limit inst))
         with
-        | Some (Some (best, asg, status)) -> (
-            accept st Exact asg (Q.of_int best);
-            match status with
-            | Ccs_exact.Bnb.Complete ->
-                raise_lb st (Q.of_int best);
-                true
+        | Some (Some o) ->
+            accept st Exact o.Ccs_exact.Portfolio.assignment
+              (Q.of_int o.Ccs_exact.Portfolio.makespan);
+            raise_lb st (Q.of_int o.Ccs_exact.Portfolio.lower_bound);
+            o.Ccs_exact.Portfolio.proved
+        | Some None | None -> false)
+    | Exact -> (
+        (* [solve_result] never raises on cancellation: the search
+           warm-starts from the 7/3 approximation, so even an interrupted
+           exact rung contributes a real incumbent — and always a proven
+           root lower bound. *)
+        match
+          guard st (fun () ->
+              Deadline.with_token tok (fun () ->
+                  Ccs_exact.Bnb.solve_result ~node_limit inst))
+        with
+        | Some (Some r) -> (
+            accept st Exact r.Ccs_exact.Bnb.assignment (Q.of_int r.Ccs_exact.Bnb.makespan);
+            raise_lb st (Q.of_int r.Ccs_exact.Bnb.lower_bound);
+            match r.Ccs_exact.Bnb.status with
+            | Ccs_exact.Bnb.Complete -> true
             | Ccs_exact.Bnb.Node_limit -> false
             | Ccs_exact.Bnb.Interrupted _ ->
                 st.interrupted <- true;

@@ -74,11 +74,17 @@ val solve_preemptive :
   Ccs.Instance.t ->
   Ccs.Schedule.preemptive outcome
 
+(** [portfolio] (default false) replaces the exact rung's lone branch &
+    bound with the {!Ccs_exact.Portfolio} race (B&B vs. config-ILP vs.
+    N-fold on the ambient pool) — same deterministic answer at any
+    [--jobs], but palette-style instances that stall the B&B get proven by
+    an ILP member instead of degrading to the PTAS rung. *)
 val solve_nonpreemptive :
   ?deadline:Ccs_resil.Deadline.t ->
   ?start:rung ->
   ?param:Ccs.Ptas.Common.param ->
   ?node_limit:int ->
+  ?portfolio:bool ->
   ?grace_ms:int ->
   Ccs.Instance.t ->
   Ccs.Schedule.nonpreemptive outcome

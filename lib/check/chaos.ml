@@ -18,6 +18,8 @@ type config = {
   raise_ppm : int;
   delay_ppm : int;
   node_limit : int;
+  family : Ccs.Generator.family option;
+  portfolio : bool;
 }
 
 let default_config =
@@ -32,6 +34,8 @@ let default_config =
     raise_ppm = 500;
     delay_ppm = 500;
     node_limit = 50_000;
+    family = None;
+    portfolio = false;
   }
 
 type failure = { index : int; regime : string; reason : string }
@@ -87,7 +91,11 @@ let run config =
   let failures = ref [] in
   let fail index regime reason = failures := { index; regime; reason } :: !failures in
   for index = 0 to config.count - 1 do
-    let inst = Runner.gen_instance (Prng.stream ~seed:config.seed ~index) ~max_n:config.max_n in
+    let inst =
+      Runner.gen_instance ?family:config.family
+        (Prng.stream ~seed:config.seed ~index)
+        ~max_n:config.max_n
+    in
     List.iteri
       (fun k regime ->
         incr runs;
@@ -144,7 +152,9 @@ let run config =
               | _ ->
                   solve_checked
                     (fun a -> Result.map Q.of_int (Schedule.validate_nonpreemptive inst a))
-                    (fun () -> Driver.solve_nonpreemptive ?deadline ~param ~node_limit inst))
+                    (fun () ->
+                      Driver.solve_nonpreemptive ?deadline ~param ~node_limit
+                        ~portfolio:config.portfolio inst))
         in
         (match limit with
         | Some l ->

@@ -26,10 +26,15 @@ type config = {
   raise_ppm : int;
   delay_ppm : int;
   node_limit : int;  (** exact-rung budget, kept small for sweep speed *)
+  family : Ccs.Generator.family option;
+      (** pin every instance to one workload family (e.g. [Bnb_stress] to
+          hammer the conflict-driven search under faults); [None] draws it
+          per index like the differential fuzzer *)
+  portfolio : bool;  (** race the exact-rung portfolio instead of the lone B&B *)
 }
 
 (** seed 1, count 100, delta 1/2, max_n 20, no deadline, faults off,
-    1000/500/500 ppm, 50_000 nodes. *)
+    1000/500/500 ppm, 50_000 nodes, no pinned family, no portfolio. *)
 val default_config : config
 
 type failure = { index : int; regime : string; reason : string }

@@ -47,7 +47,7 @@ type report = {
   cases : case list;
 }
 
-let families = [| Ccs.Generator.Uniform; Zipf; Heavy_classes; Large_jobs; Lp_stress |]
+let families = [| Ccs.Generator.Uniform; Zipf; Heavy_classes; Large_jobs; Lp_stress; Bnb_stress |]
 
 (* Mostly small processing times (where the combinatorics live), sometimes
    large ones (where overflow bugs live). *)

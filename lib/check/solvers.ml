@@ -285,6 +285,32 @@ let np_bnb limits =
                 { (exact_run (Q.of_int opt)) with makespan = Q.of_int mk }));
   }
 
+let np_portfolio limits =
+  {
+    name = "nonpreemptive/portfolio";
+    regime = Nonpreemptive;
+    exact = true;
+    ratio = Q.one;
+    scale_exact = true;
+    perm_exact = true;
+    mono_machines = true;
+    witness_growth = Q.one;
+    (* shares the B&B gate: member 0 is the B&B itself and the race runs
+       sequentially on the oracle's 1-worker pool, so this mostly exercises
+       the proof-or-abstain contract against the other exact solvers *)
+    applicable = (fun l inst -> I.n inst <= l.bnb_n);
+    run =
+      (fun inst ->
+        match Ccs_exact.Portfolio.solve ~node_limit:limits.bnb_nodes inst with
+        | None -> Skipped "unschedulable"
+        | Some o when not o.Ccs_exact.Portfolio.proved -> Skipped "portfolio budgets"
+        | Some o ->
+            validated S.validate_nonpreemptive inst o.Ccs_exact.Portfolio.assignment
+              (fun mk ->
+                { (exact_run (Q.of_int o.Ccs_exact.Portfolio.makespan)) with
+                  makespan = Q.of_int mk }));
+  }
+
 let np_brute =
   {
     name = "nonpreemptive/brute";
@@ -314,5 +340,6 @@ let all ?(limits = default_limits) param =
     np_approx;
     np_ptas param;
     np_bnb limits;
+    np_portfolio limits;
     np_brute;
   ]

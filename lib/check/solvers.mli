@@ -55,6 +55,7 @@ type solver = {
   run : Ccs.Instance.t -> outcome;
 }
 
-(** All ten solvers (three regimes x approx/PTAS/exact, plus the brute-force
-    reference), at PTAS accuracy [param]. *)
+(** All eleven solvers (three regimes x approx/PTAS/exact, plus the exact
+    non-preemptive portfolio race and the brute-force reference), at PTAS
+    accuracy [param]. *)
 val all : ?limits:limits -> Ccs.Ptas.Common.param -> solver list

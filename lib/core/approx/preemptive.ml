@@ -99,17 +99,127 @@ let solve inst =
     ~job_p:(fun j -> (Instance.job inst j).Instance.p)
     ~iter_cls:(fun u f -> List.iter f class_jobs.(u))
 
+(* Flat fast path: the same cutting, ordering and stacking as [solve_on],
+   but the sub-class items and their fragments live in flat CSR arrays
+   instead of per-item cons cells, and the final stable sort runs on an
+   index array. A million-job solve allocates O(items) scratch words plus
+   the output pieces, instead of churning through one list cell per
+   fragment in every intermediate stage. The property suite pins this
+   path's output bit-identical to [solve_on]'s, so every cut point, the
+   stable tie order and the round-robin placement must match exactly. *)
+let solve_on_flat ~n ~machines:m ~slots ~loads ~total_load ~pmax ~job_p ~offsets ~ids =
+  if m >= n then begin
+    let sched =
+      Array.init n (fun j ->
+          [ { Schedule.pjob = j; start = Q.zero; len = Q.of_int (job_p j) } ])
+    in
+    (sched, { t_guess = Q.of_int pmax; probes = 0; repacked = false })
+  end
+  else begin
+    let lb = Bounds.lb_preemptive_of ~total_load ~machines:m ~pmax in
+    let { Border_search.t_star = t; probes } =
+      Border_search.search ~loads ~machines:m ~slots ~lb
+    in
+    let nc = Array.length loads in
+    (* Exact item count: a class above T flushes exactly ceil(pu/T) items
+       (the final flush fires iff a remainder is left), anything else is a
+       single item — even an empty class, which [solve_on] also emits (its
+       zero-size item shifts the round robin's modulo). *)
+    let total_items = ref 0 in
+    for u = 0 to nc - 1 do
+      let pu_q = Q.of_int loads.(u) in
+      total_items :=
+        !total_items
+        + (if Q.(pu_q > t) then Bigint.to_int_exn (Q.ceil (Q.div pu_q t)) else 1)
+    done;
+    let total_items = !total_items in
+    (* Each of the at most [total_items - 1] cuts adds one fragment beyond
+       the per-job one, so [n + total_items] bounds the fragment count. *)
+    let frag_cap = n + total_items in
+    let item_size = Array.make total_items Q.zero in
+    let item_off = Array.make (total_items + 1) 0 in
+    let frag_job = Array.make frag_cap 0 in
+    let frag_len = Array.make frag_cap Q.zero in
+    let ni = ref 0 and nf = ref 0 in
+    let open_item () = item_off.(!ni) <- !nf in
+    let close_item size =
+      item_size.(!ni) <- size;
+      incr ni;
+      open_item ()
+    in
+    let any_split = ref false in
+    for u = 0 to nc - 1 do
+      let pu_q = Q.of_int loads.(u) in
+      if Q.(pu_q > t) then begin
+        any_split := true;
+        let current_size = ref Q.zero in
+        let flush () =
+          if Q.sign !current_size > 0 then begin
+            close_item !current_size;
+            current_size := Q.zero
+          end
+        in
+        for k = offsets.(u) to offsets.(u + 1) - 1 do
+          let j = ids.(k) in
+          let remaining = ref (Q.of_int (job_p j)) in
+          while Q.sign !remaining > 0 do
+            let room = Q.sub t !current_size in
+            let take = Q.min room !remaining in
+            frag_job.(!nf) <- j;
+            frag_len.(!nf) <- take;
+            incr nf;
+            current_size := Q.add !current_size take;
+            remaining := Q.sub !remaining take;
+            if Q.(Q.sub t !current_size = Q.zero) then flush ()
+          done
+        done;
+        flush ()
+      end
+      else begin
+        for k = offsets.(u) to offsets.(u + 1) - 1 do
+          let j = ids.(k) in
+          frag_job.(!nf) <- j;
+          frag_len.(!nf) <- Q.of_int (job_p j);
+          incr nf
+        done;
+        close_item pu_q
+      end
+    done;
+    assert (!ni = total_items);
+    item_off.(total_items) <- !nf;
+    (* Stable sort of the identity permutation = the unique stable order,
+       the same permutation [solve_on]'s List.stable_sort produces. *)
+    let order = Array.init total_items (fun i -> i) in
+    Array.stable_sort (fun a b -> Q.compare item_size.(b) item_size.(a)) order;
+    let repack = !any_split in
+    let sched =
+      Array.init m (fun mi ->
+          let pieces = ref [] in
+          let top = ref Q.zero in
+          let idx = ref 0 in
+          let i = ref mi in
+          while !i < total_items do
+            let it = order.(!i) in
+            if repack && !idx = 1 then top := Q.max !top t;
+            for k = item_off.(it) to item_off.(it + 1) - 1 do
+              pieces := { Schedule.pjob = frag_job.(k); start = !top; len = frag_len.(k) } :: !pieces;
+              top := Q.add !top frag_len.(k)
+            done;
+            incr idx;
+            i := !i + m
+          done;
+          List.rev !pieces)
+    in
+    (sched, { t_guess = t; probes; repacked = repack })
+  end
+
 let solve_flat fl =
   if not (Instance.Flat.schedulable fl) then
     invalid_arg "Approx.Preemptive.solve: C > c*m, no schedule exists";
   Ccs_obs.Metrics.incr m_flat_solves;
   Ccs_obs.Recorder.phase "approx" @@ fun () ->
   let offsets, ids = Instance.Flat.class_jobs_csr fl in
-  solve_on ~n:(Instance.Flat.n fl) ~machines:(Instance.Flat.m fl)
+  solve_on_flat ~n:(Instance.Flat.n fl) ~machines:(Instance.Flat.m fl)
     ~slots:(Instance.Flat.c fl) ~loads:(Instance.Flat.class_load fl)
     ~total_load:(Instance.Flat.total_load fl) ~pmax:(Instance.Flat.pmax fl)
-    ~job_p:(Instance.Flat.job_p fl)
-    ~iter_cls:(fun u f ->
-      for k = offsets.(u) to offsets.(u + 1) - 1 do
-        f ids.(k)
-      done)
+    ~job_p:(Instance.Flat.job_p fl) ~offsets ~ids

@@ -1,6 +1,6 @@
 module Prng = Ccs_util.Prng
 
-type family = Uniform | Zipf | Heavy_classes | Large_jobs | Lp_stress
+type family = Uniform | Zipf | Heavy_classes | Large_jobs | Lp_stress | Bnb_stress
 
 type spec = {
   n : int;
@@ -21,7 +21,7 @@ let generate_draws ~seed spec =
   let pick_class =
     match spec.family with
     | Uniform | Large_jobs -> fun () -> Prng.int rng spec.classes
-    | Lp_stress ->
+    | Lp_stress | Bnb_stress ->
         (* Round-robin: every class receives the same job-size multiset (up
            to one job), so classes are interchangeable and the induced
            configuration LPs carry duplicated columns. *)
@@ -55,6 +55,15 @@ let generate_draws ~seed spec =
         in
         let k = 2 + Prng.int rng 2 in
         fun () -> palette.(Prng.int rng k)
+    | Bnb_stress ->
+        (* Near-perfect-partition pressure for the exact search: every job
+           sits in a narrow band around p_hi/2, so machine loads tie within
+           a hair of each other everywhere in the tree — the area bound is
+           weak, incumbents improve by 1, and the DFS goes deep. Combined
+           with the round-robin classes above, slot constraints bite too. *)
+        let lo = max spec.p_lo (spec.p_hi * 7 / 16) in
+        let hi = max lo (spec.p_hi * 9 / 16) in
+        fun () -> Prng.int_in rng lo hi
     | Large_jobs ->
         (* Jobs clustered just above p_hi/2 and just above p_hi/3: the
            regimes distinguished by the non-preemptive C_u^2 computation. *)

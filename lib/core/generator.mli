@@ -17,6 +17,11 @@ type family =
           distinct job sizes: the induced configuration LPs are degenerate
           and near-singular, which is exactly what the simplex's
           anti-cycling and warm-start repair paths have to survive *)
+  | Bnb_stress
+      (** near-perfect-partition instances: all sizes in a narrow band
+          around p_hi/2 with round-robin classes, so the exact search's
+          area bound is weak and the tree is deep — the adversarial family
+          for the conflict-driven B&B and the solver portfolio *)
 
 type spec = {
   n : int;

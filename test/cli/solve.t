@@ -16,6 +16,31 @@ combination, and check the reported numbers are sane and deterministic.
   instance: n=10 m=3 c=2 C=3
   non-preemptive exact optimum: 229
 
+--portfolio races the B&B against config-ILP and N-fold; the winner
+annotation is deterministic (lowest-index member with a proof):
+
+  $ ccs_solve inst.ccs --variant nonpreemptive --algo exact --portfolio -q
+  instance: n=10 m=3 c=2 C=3
+  non-preemptive exact optimum: 229 (portfolio winner: bnb)
+
+An exhausted node budget is not a silent failure: the search surfaces its
+best incumbent and the proven lower bound, mirroring the anytime driver's
+Degraded contract:
+
+  $ ccs_gen -n 18 -C 4 -m 4 -c 2 --p-hi 100 --family bnb-stress --seed 1234 -o hard.ccs
+  wrote hard.ccs (n=18, C=4)
+  $ ccs_solve hard.ccs --variant nonpreemptive --algo exact --node-limit 500 -q
+  instance: n=18 m=4 c=2 C=4
+  exact search out of budget: incumbent 236, proven lower bound 224
+
+Under the same tiny budget the portfolio still closes the instance,
+because the configuration-ILP member proves the optimum where the
+budgeted B&B cannot:
+
+  $ ccs_solve hard.ccs --variant nonpreemptive --algo exact --node-limit 500 --portfolio -q
+  instance: n=18 m=4 c=2 C=4
+  non-preemptive exact optimum: 236 (portfolio winner: config_ilp)
+
   $ ccs_solve inst.ccs --variant splittable --algo approx -q
   instance: n=10 m=3 c=2 C=3
   splittable 2-approx: makespan 264 (guess T=635/3, <= 2T)

@@ -211,7 +211,7 @@ let test_seeded_run_clean () =
   Alcotest.(check int) "checked" 6 report.Runner.checked;
   Alcotest.(check int) "no cases" 0 (List.length report.Runner.cases);
   (* every solver appears in the tally and the ungated ones ran every time *)
-  Alcotest.(check int) "tally size" 10 (List.length report.Runner.tallies);
+  Alcotest.(check int) "tally size" 11 (List.length report.Runner.tallies);
   List.iter
     (fun (t : Oracle.tally) ->
       match t.Oracle.name with
